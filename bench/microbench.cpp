@@ -1,0 +1,156 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * analytical layer evaluation, per-cycle demand generation, the DRAM
+ * controller under streaming and row-thrashing patterns, the
+ * scratchpad scheduler, and a full end-to-end layer with every
+ * feature enabled. Useful for tracking simulator performance itself
+ * (the quantity Table IV reports).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/log.hpp"
+#include "common/workloads.hpp"
+#include "core/simulator.hpp"
+#include "dram/system.hpp"
+#include "energy/action_counts.hpp"
+#include "layout/layout.hpp"
+#include "systolic/demand.hpp"
+
+using namespace scalesim;
+
+namespace
+{
+
+const GemmDims kGemm{512, 256, 384};
+
+void
+BM_AnalyticalLayer(benchmark::State& state)
+{
+    for (auto _ : state) {
+        systolic::FoldGrid grid(kGemm, Dataflow::WeightStationary, 32,
+                                32);
+        benchmark::DoNotOptimize(grid.totalCycles());
+        benchmark::DoNotOptimize(grid.sramAccessCounts());
+    }
+}
+BENCHMARK(BM_AnalyticalLayer);
+
+void
+BM_DemandGeneration(benchmark::State& state)
+{
+    MemoryConfig mem;
+    const systolic::OperandMap operands(kGemm, mem);
+    for (auto _ : state) {
+        systolic::DemandGenerator gen(
+            kGemm, Dataflow::OutputStationary,
+            static_cast<std::uint32_t>(state.range(0)),
+            static_cast<std::uint32_t>(state.range(0)), operands);
+        systolic::CountingVisitor counter;
+        gen.run(counter);
+        benchmark::DoNotOptimize(counter.ifmapReads);
+    }
+    state.SetItemsProcessed(state.iterations() * kGemm.macs());
+}
+BENCHMARK(BM_DemandGeneration)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_DramStreaming(benchmark::State& state)
+{
+    for (auto _ : state) {
+        dram::DramSystemConfig cfg;
+        cfg.timing = dram::timingPreset("DDR4_2400");
+        cfg.channels = static_cast<std::uint32_t>(state.range(0));
+        dram::DramSystem sys(cfg);
+        Cycle last = 0;
+        for (int i = 0; i < 4096; ++i) {
+            last = std::max(last, sys.request(
+                static_cast<Addr>(i) * 64, 64, false, 0));
+        }
+        benchmark::DoNotOptimize(last);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_DramStreaming)->Arg(1)->Arg(4);
+
+void
+BM_DramRowThrash(benchmark::State& state)
+{
+    const dram::DramTiming timing = dram::timingPreset("DDR4_2400");
+    for (auto _ : state) {
+        dram::DramSystemConfig cfg;
+        cfg.timing = timing;
+        dram::DramSystem sys(cfg);
+        Cycle last = 0;
+        const Addr stride = timing.rowBytes * timing.banksPerRank;
+        for (int i = 0; i < 4096; ++i) {
+            last = std::max(last, sys.request(
+                static_cast<Addr>(i) * stride, 64, false, 0));
+        }
+        benchmark::DoNotOptimize(last);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_DramRowThrash);
+
+void
+BM_ScratchpadLayer(benchmark::State& state)
+{
+    MemoryConfig mem;
+    const systolic::OperandMap operands(kGemm, mem);
+    for (auto _ : state) {
+        systolic::BandwidthMemory memory(16.0);
+        systolic::DoubleBufferedScratchpad spad(
+            systolic::ScratchpadConfig{}, memory);
+        systolic::FoldGrid grid(kGemm, Dataflow::WeightStationary, 32,
+                                32);
+        benchmark::DoNotOptimize(spad.runLayer(grid, operands));
+    }
+}
+BENCHMARK(BM_ScratchpadLayer);
+
+void
+BM_EndToEndLayerAllFeatures(benchmark::State& state)
+{
+    setQuiet(true);
+    Topology topo;
+    topo.name = "bench";
+    LayerSpec layer = LayerSpec::gemm("g", kGemm.m, kGemm.n, kGemm.k);
+    layer.sparseN = 2;
+    layer.sparseM = 4;
+    topo.layers.push_back(layer);
+    for (auto _ : state) {
+        SimConfig cfg;
+        cfg.arrayRows = cfg.arrayCols = 32;
+        cfg.dataflow = Dataflow::WeightStationary;
+        cfg.sparsity.enabled = true;
+        cfg.dram.enabled = true;
+        cfg.layout.enabled = true;
+        cfg.energy.enabled = true;
+        core::Simulator sim(cfg);
+        benchmark::DoNotOptimize(sim.run(topo));
+    }
+}
+BENCHMARK(BM_EndToEndLayerAllFeatures);
+
+void
+BM_ActionCounting(benchmark::State& state)
+{
+    MemoryConfig mem;
+    const systolic::OperandMap operands(kGemm, mem);
+    EnergyConfig ecfg;
+    for (auto _ : state) {
+        systolic::DemandGenerator gen(kGemm,
+                                      Dataflow::WeightStationary, 32,
+                                      32, operands);
+        energy::ActionCountVisitor visitor(ecfg);
+        gen.run(visitor);
+        benchmark::DoNotOptimize(visitor.counts());
+    }
+}
+BENCHMARK(BM_ActionCounting);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: simulate one convolution layer on a 32x32 weight-
+ * stationary systolic array with every v3 feature enabled, and print
+ * the four report files to stdout. Start here to learn the API.
+ */
+
+#include <iostream>
+
+#include "common/workloads.hpp"
+#include "core/simulator.hpp"
+
+using namespace scalesim;
+
+int
+main()
+{
+    // 1. Describe the accelerator. Everything here can also come from
+    //    an INI file via SimConfig::load("scale.cfg").
+    SimConfig cfg;
+    cfg.runName = "quickstart";
+    cfg.arrayRows = 32;
+    cfg.arrayCols = 32;
+    cfg.dataflow = Dataflow::WeightStationary;
+    cfg.mode = SimMode::Trace;       // per-cycle demand generation
+    cfg.memory.ifmapSramKb = 256;
+    cfg.memory.filterSramKb = 256;
+    cfg.memory.ofmapSramKb = 128;
+    cfg.sparsity.enabled = true;     // honor N:M layer annotations
+    cfg.dram.enabled = true;         // detailed DDR4 model
+    cfg.dram.tech = "DDR4_2400";
+    cfg.dram.channels = 2;
+    cfg.layout.enabled = true;       // bank-conflict modeling
+    cfg.energy.enabled = true;       // Accelergy-style energy
+    core::Simulator sim(cfg);
+
+    // 2. Describe the workload: one ResNet-style conv layer (dense)
+    //    and one 2:4-sparse GEMM layer.
+    Topology topo;
+    topo.name = "quickstart";
+    topo.layers.push_back(
+        LayerSpec::conv("conv3x3", 56, 56, 3, 3, 64, 64, 1));
+    LayerSpec fc = LayerSpec::gemm("fc_sparse", 64, 256, 512);
+    fc.sparseN = 2;
+    fc.sparseM = 4;
+    topo.layers.push_back(fc);
+
+    // 3. Run and inspect.
+    const core::RunResult run = sim.run(topo);
+    std::cout << "== " << run.runName << " on " << run.workload
+              << " ==\n"
+              << "total cycles:   " << run.totalCycles << "\n"
+              << "compute cycles: " << run.computeCycles << "\n"
+              << "stall cycles:   " << run.stallCycles << "\n"
+              << "DRAM row hit rate: " << run.dramStats.rowHitRate()
+              << "\n"
+              << "energy (uJ):    " << run.totalEnergy.totalUj()
+              << "\n"
+              << "avg power (W):  " << run.avgPowerW << "\n\n";
+
+    std::cout << "-- COMPUTE_REPORT.csv --\n";
+    run.writeComputeReport(std::cout);
+    std::cout << "\n-- BANDWIDTH_REPORT.csv --\n";
+    run.writeBandwidthReport(std::cout);
+    std::cout << "\n-- SPARSE_REPORT.csv --\n";
+    run.writeSparseReport(std::cout);
+    std::cout << "\n-- ENERGY_REPORT.csv --\n";
+    run.writeEnergyReport(std::cout);
+    return 0;
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * SCALE-Sim-style command-line front-end:
+ *
+ *   scalesim_cli [-c config.cfg] [-t topology.csv | -w workload]
+ *                [-o output_dir] [-s]
+ *
+ * -s additionally writes the cycle-accurate SRAM demand traces
+ * (IFMAP_SRAM_TRACE.csv etc.) and the main-memory request trace
+ * (MEM_TRACE.csv, §V-B format) into the output directory.
+ *
+ * Mirrors the original tool's flow: parse the .cfg, parse the topology
+ * CSV (conv or GEMM format, with the v3 SparsitySupport column), run,
+ * and write COMPUTE_REPORT.csv / BANDWIDTH_REPORT.csv /
+ * SPARSE_REPORT.csv / ENERGY_REPORT.csv into the output directory.
+ * With no arguments it runs ResNet-18 on the default configuration.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/log.hpp"
+#include "common/workloads.hpp"
+#include "core/simulator.hpp"
+#include "systolic/trace_io.hpp"
+
+using namespace scalesim;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cerr <<
+        "usage: scalesim_cli [-c config.cfg] [-t topology.csv]\n"
+        "                    [-w workload] [-o output_dir]\n"
+        "workloads: ";
+    for (const auto& name : workloads::names())
+        std::cerr << name << " ";
+    std::cerr << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string config_path;
+    std::string topology_path;
+    std::string workload = "resnet18";
+    std::string out_dir = ".";
+    bool write_traces = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "-c") {
+            config_path = next();
+        } else if (arg == "-t") {
+            topology_path = next();
+        } else if (arg == "-w") {
+            workload = next();
+        } else if (arg == "-o") {
+            out_dir = next();
+        } else if (arg == "-s") {
+            write_traces = true;
+        } else {
+            usage();
+            return arg == "-h" || arg == "--help" ? 0 : 1;
+        }
+    }
+
+    try {
+        SimConfig cfg = config_path.empty()
+            ? SimConfig{} : SimConfig::load(config_path);
+        if (config_path.empty()) {
+            cfg.energy.enabled = true;
+            cfg.sparsity.enabled = true;
+        }
+        const Topology topo = topology_path.empty()
+            ? workloads::byName(workload)
+            : Topology::load(topology_path);
+
+        inform("running %s (%zu layers) on a %ux%u %s array",
+               topo.name.c_str(), topo.layers.size(), cfg.arrayRows,
+               cfg.arrayCols, toString(cfg.dataflow).c_str());
+        core::Simulator sim(cfg);
+        const core::RunResult run = sim.run(topo);
+
+        std::filesystem::create_directories(out_dir);
+        auto write = [&](const char* name, auto writer) {
+            const std::string path = out_dir + "/" + name;
+            std::ofstream out(path);
+            if (!out)
+                fatal("cannot write %s", path.c_str());
+            (run.*writer)(out);
+            inform("wrote %s", path.c_str());
+        };
+        write("COMPUTE_REPORT.csv", &core::RunResult::writeComputeReport);
+        write("BANDWIDTH_REPORT.csv",
+              &core::RunResult::writeBandwidthReport);
+        if (cfg.sparsity.enabled || cfg.sparsity.optimizedMapping) {
+            write("SPARSE_REPORT.csv",
+                  &core::RunResult::writeSparseReport);
+        }
+        if (cfg.energy.enabled) {
+            write("ENERGY_REPORT.csv",
+                  &core::RunResult::writeEnergyReport);
+            write("POWER_REPORT.csv", &core::RunResult::writePowerReport);
+        }
+
+        if (write_traces) {
+            // Cycle-accurate SRAM traces from one demand pass per
+            // layer, plus the §V-B main-memory request trace.
+            std::ofstream ifmap_out(out_dir + "/IFMAP_SRAM_TRACE.csv");
+            std::ofstream filter_out(out_dir
+                                     + "/FILTER_SRAM_TRACE.csv");
+            std::ofstream ofmap_out(out_dir + "/OFMAP_SRAM_TRACE.csv");
+            systolic::BandwidthMemory inner(
+                cfg.memory.bandwidthWordsPerCycle);
+            systolic::TracingMemory tracer(inner,
+                                           cfg.memory.wordBytes);
+            systolic::ScratchpadConfig spad_cfg;
+            spad_cfg.ifmapWords = cfg.memory.ifmapSramKb * 1024
+                / std::max<std::uint32_t>(1, cfg.memory.wordBytes);
+            spad_cfg.filterWords = cfg.memory.filterSramKb * 1024
+                / std::max<std::uint32_t>(1, cfg.memory.wordBytes);
+            spad_cfg.ofmapWords = cfg.memory.ofmapSramKb * 1024
+                / std::max<std::uint32_t>(1, cfg.memory.wordBytes);
+            systolic::DoubleBufferedScratchpad spad(spad_cfg, tracer);
+            for (const auto& layer : topo.layers) {
+                const auto operands = systolic::OperandMap::forLayer(
+                    layer, cfg.memory);
+                systolic::DemandGenerator gen(
+                    layer.toGemm(), cfg.dataflow, cfg.arrayRows,
+                    cfg.arrayCols, operands);
+                systolic::SramTraceWriter writer(&ifmap_out,
+                                                 &filter_out,
+                                                 &ofmap_out);
+                gen.run(writer);
+                spad.reset();
+                spad.runLayer(gen.grid(), operands);
+            }
+            std::ofstream mem_out(out_dir + "/MEM_TRACE.csv");
+            systolic::writeMemTrace(mem_out, tracer.records());
+            inform("wrote SRAM and memory traces to %s",
+                   out_dir.c_str());
+        }
+
+        run.writeSummary(std::cout);
+        std::cout << "total cycles:   " << run.totalCycles << "\n"
+                  << "compute cycles: " << run.computeCycles << "\n"
+                  << "stall cycles:   " << run.stallCycles << "\n";
+        if (cfg.energy.enabled) {
+            std::cout << "energy (mJ):    "
+                      << run.totalEnergy.totalMj() << "\n"
+                      << "avg power (W):  " << run.avgPowerW << "\n"
+                      << "EdP:            " << run.edp << "\n";
+        }
+    } catch (const FatalError& err) {
+        std::cerr << "error: " << err.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,381 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/log.hpp"
+
+namespace scalesim
+{
+
+namespace
+{
+
+std::string
+canonical(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == ' ' || c == '_' || c == '\t')
+            continue;
+        out.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    }
+    return out;
+}
+
+} // namespace
+
+IniFile
+IniFile::parseString(const std::string& text)
+{
+    IniFile ini;
+    std::istringstream in(text);
+    std::string line;
+    std::string section = "general";
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        std::string trimmed = trim(line);
+        if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == ';')
+            continue;
+        if (trimmed.front() == '[') {
+            auto close = trimmed.find(']');
+            if (close == std::string::npos)
+                fatal("config line %d: unterminated section header",
+                      line_no);
+            section = trim(trimmed.substr(1, close - 1));
+            continue;
+        }
+        auto eq = trimmed.find('=');
+        if (eq == std::string::npos) {
+            // SCALE-Sim cfg also allows "key : value".
+            eq = trimmed.find(':');
+        }
+        if (eq == std::string::npos)
+            fatal("config line %d: expected key = value", line_no);
+        std::string key = trim(trimmed.substr(0, eq));
+        std::string value = trim(trimmed.substr(eq + 1));
+        if (key.empty())
+            fatal("config line %d: empty key", line_no);
+        ini.set(section, key, value);
+    }
+    return ini;
+}
+
+IniFile
+IniFile::load(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open config file: %s", path.c_str());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return parseString(buffer.str());
+}
+
+void
+IniFile::set(std::string_view section, std::string_view key,
+             const std::string& value)
+{
+    sections_[canonical(section)][canonical(key)] = value;
+}
+
+bool
+IniFile::has(std::string_view section, std::string_view key) const
+{
+    auto sec = sections_.find(canonical(section));
+    if (sec == sections_.end())
+        return false;
+    return sec->second.count(canonical(key)) > 0;
+}
+
+std::string
+IniFile::getString(std::string_view section, std::string_view key,
+                   const std::string& fallback) const
+{
+    auto sec = sections_.find(canonical(section));
+    if (sec == sections_.end())
+        return fallback;
+    auto it = sec->second.find(canonical(key));
+    return it == sec->second.end() ? fallback : it->second;
+}
+
+std::int64_t
+IniFile::getInt(std::string_view section, std::string_view key,
+                std::int64_t fallback) const
+{
+    std::string raw = getString(section, key);
+    if (raw.empty())
+        return fallback;
+    char* end = nullptr;
+    std::int64_t value = std::strtoll(raw.c_str(), &end, 0);
+    if (end == raw.c_str() || *end != '\0')
+        fatal("config %.*s.%.*s: '%s' is not an integer",
+              static_cast<int>(section.size()), section.data(),
+              static_cast<int>(key.size()), key.data(), raw.c_str());
+    return value;
+}
+
+double
+IniFile::getDouble(std::string_view section, std::string_view key,
+                   double fallback) const
+{
+    std::string raw = getString(section, key);
+    if (raw.empty())
+        return fallback;
+    char* end = nullptr;
+    double value = std::strtod(raw.c_str(), &end);
+    if (end == raw.c_str() || *end != '\0')
+        fatal("config %.*s.%.*s: '%s' is not a number",
+              static_cast<int>(section.size()), section.data(),
+              static_cast<int>(key.size()), key.data(), raw.c_str());
+    return value;
+}
+
+bool
+IniFile::getBool(std::string_view section, std::string_view key,
+                 bool fallback) const
+{
+    std::string raw = canonical(getString(section, key));
+    if (raw.empty())
+        return fallback;
+    if (raw == "true" || raw == "1" || raw == "yes" || raw == "on")
+        return true;
+    if (raw == "false" || raw == "0" || raw == "no" || raw == "off")
+        return false;
+    fatal("config %.*s.%.*s: '%s' is not a boolean",
+          static_cast<int>(section.size()), section.data(),
+          static_cast<int>(key.size()), key.data(), raw.c_str());
+}
+
+std::string
+toString(SparseRep rep)
+{
+    switch (rep) {
+      case SparseRep::Dense: return "dense";
+      case SparseRep::Csr: return "csr";
+      case SparseRep::Csc: return "csc";
+      case SparseRep::EllpackBlock: return "ellpack_block";
+    }
+    return "dense";
+}
+
+SparseRep
+sparseRepFromString(std::string_view text)
+{
+    std::string c = canonical(text);
+    if (c == "dense")
+        return SparseRep::Dense;
+    if (c == "csr")
+        return SparseRep::Csr;
+    if (c == "csc")
+        return SparseRep::Csc;
+    if (c == "ellpackblock" || c == "blockedellpack" || c == "ellpack")
+        return SparseRep::EllpackBlock;
+    throw std::invalid_argument("unknown sparse representation: "
+                                + std::string(text));
+}
+
+SimConfig
+SimConfig::fromIni(const IniFile& ini)
+{
+    SimConfig cfg;
+    cfg.runName = ini.getString("general", "run_name", cfg.runName);
+
+    cfg.arrayRows = static_cast<std::uint32_t>(
+        ini.getInt("architecture", "ArrayHeight", cfg.arrayRows));
+    cfg.arrayCols = static_cast<std::uint32_t>(
+        ini.getInt("architecture", "ArrayWidth", cfg.arrayCols));
+    if (cfg.arrayRows == 0 || cfg.arrayCols == 0)
+        fatal("array dimensions must be non-zero");
+
+    cfg.dataflow = dataflowFromString(
+        ini.getString("architecture", "Dataflow", "os"));
+    std::string mode = ini.getString("general", "mode", "trace");
+    cfg.mode = canonical(mode) == "analytical" ? SimMode::Analytical
+                                               : SimMode::Trace;
+
+    cfg.memory.ifmapSramKb = static_cast<std::uint64_t>(ini.getInt(
+        "architecture", "IfmapSramSzkB",
+        static_cast<std::int64_t>(cfg.memory.ifmapSramKb)));
+    cfg.memory.filterSramKb = static_cast<std::uint64_t>(ini.getInt(
+        "architecture", "FilterSramSzkB",
+        static_cast<std::int64_t>(cfg.memory.filterSramKb)));
+    cfg.memory.ofmapSramKb = static_cast<std::uint64_t>(ini.getInt(
+        "architecture", "OfmapSramSzkB",
+        static_cast<std::int64_t>(cfg.memory.ofmapSramKb)));
+    cfg.memory.ifmapOffset = static_cast<Addr>(ini.getInt(
+        "architecture", "IfmapOffset",
+        static_cast<std::int64_t>(cfg.memory.ifmapOffset)));
+    cfg.memory.filterOffset = static_cast<Addr>(ini.getInt(
+        "architecture", "FilterOffset",
+        static_cast<std::int64_t>(cfg.memory.filterOffset)));
+    cfg.memory.ofmapOffset = static_cast<Addr>(ini.getInt(
+        "architecture", "OfmapOffset",
+        static_cast<std::int64_t>(cfg.memory.ofmapOffset)));
+    cfg.memory.wordBytes = static_cast<std::uint32_t>(ini.getInt(
+        "architecture", "WordBytes", cfg.memory.wordBytes));
+    cfg.memory.bandwidthWordsPerCycle = ini.getDouble(
+        "architecture", "Bandwidth", cfg.memory.bandwidthWordsPerCycle);
+    cfg.memory.burstWords = static_cast<std::uint32_t>(ini.getInt(
+        "architecture", "BurstWords", cfg.memory.burstWords));
+    cfg.memory.issuePerCycle = static_cast<std::uint32_t>(ini.getInt(
+        "architecture", "IssuePerCycle", cfg.memory.issuePerCycle));
+    cfg.memory.prefetchDepth = static_cast<std::uint32_t>(ini.getInt(
+        "architecture", "PrefetchDepth", cfg.memory.prefetchDepth));
+    cfg.memory.im2colAddressing = ini.getBool(
+        "architecture", "Im2colAddressing",
+        cfg.memory.im2colAddressing);
+    cfg.simdLanes = static_cast<std::uint32_t>(ini.getInt(
+        "architecture", "SimdLanes", cfg.simdLanes));
+    cfg.simdLatencyPerOp = static_cast<std::uint32_t>(ini.getInt(
+        "architecture", "SimdLatency", cfg.simdLatencyPerOp));
+
+    cfg.sparsity.enabled = ini.getBool("sparsity", "SparsitySupport",
+                                       cfg.sparsity.enabled);
+    cfg.sparsity.optimizedMapping = ini.getBool(
+        "sparsity", "OptimizedMapping", cfg.sparsity.optimizedMapping);
+    if (ini.has("sparsity", "SparseRep")) {
+        cfg.sparsity.rep = sparseRepFromString(
+            ini.getString("sparsity", "SparseRep"));
+    }
+    cfg.sparsity.blockSize = static_cast<std::uint32_t>(
+        ini.getInt("sparsity", "BlockSize", cfg.sparsity.blockSize));
+    cfg.sparsity.seed = static_cast<std::uint64_t>(ini.getInt(
+        "sparsity", "Seed", static_cast<std::int64_t>(cfg.sparsity.seed)));
+
+    cfg.dram.enabled = ini.getBool("memory", "DramModel",
+                                   cfg.dram.enabled);
+    cfg.dram.tech = ini.getString("memory", "Tech", cfg.dram.tech);
+    cfg.dram.channels = static_cast<std::uint32_t>(
+        ini.getInt("memory", "Channels", cfg.dram.channels));
+    cfg.dram.ranksPerChannel = static_cast<std::uint32_t>(ini.getInt(
+        "memory", "Ranks", cfg.dram.ranksPerChannel));
+    cfg.dram.readQueueSize = static_cast<std::uint32_t>(ini.getInt(
+        "memory", "ReadQueueSize", cfg.dram.readQueueSize));
+    cfg.dram.writeQueueSize = static_cast<std::uint32_t>(ini.getInt(
+        "memory", "WriteQueueSize", cfg.dram.writeQueueSize));
+    cfg.dram.coreClockMhz = ini.getDouble("memory", "CoreClockMhz",
+                                          cfg.dram.coreClockMhz);
+
+    cfg.layout.enabled = ini.getBool("layout", "LayoutModel",
+                                     cfg.layout.enabled);
+    cfg.layout.banks = static_cast<std::uint32_t>(
+        ini.getInt("layout", "Banks", cfg.layout.banks));
+    cfg.layout.portsPerBank = static_cast<std::uint32_t>(
+        ini.getInt("layout", "PortsPerBank", cfg.layout.portsPerBank));
+    cfg.layout.onChipBandwidth = static_cast<std::uint32_t>(ini.getInt(
+        "layout", "OnChipBandwidth", cfg.layout.onChipBandwidth));
+
+    cfg.energy.enabled = ini.getBool("energy", "EnergyModel",
+                                     cfg.energy.enabled);
+    cfg.energy.rowSize = static_cast<std::uint32_t>(
+        ini.getInt("energy", "RowSize", cfg.energy.rowSize));
+    cfg.energy.bankSize = static_cast<std::uint32_t>(
+        ini.getInt("energy", "BankSize", cfg.energy.bankSize));
+    cfg.energy.frequencyGhz = ini.getDouble("energy", "FrequencyGhz",
+                                            cfg.energy.frequencyGhz);
+    cfg.energy.node = ini.getString("energy", "Node", cfg.energy.node);
+    return cfg;
+}
+
+void
+SimConfig::validate() const
+{
+    if (arrayRows == 0 || arrayCols == 0)
+        fatal("array dimensions must be non-zero (%ux%u)", arrayRows,
+              arrayCols);
+    if (simdLanes == 0)
+        fatal("SimdLanes must be non-zero");
+    if (memory.wordBytes == 0)
+        fatal("WordBytes must be non-zero");
+    if (memory.burstWords == 0)
+        fatal("BurstWords must be non-zero");
+    if (memory.issuePerCycle == 0)
+        fatal("IssuePerCycle must be non-zero");
+    if (memory.prefetchDepth == 0)
+        fatal("PrefetchDepth must be non-zero");
+    if (memory.bandwidthWordsPerCycle <= 0.0)
+        fatal("Bandwidth must be positive");
+    if (memory.ifmapSramKb == 0 || memory.filterSramKb == 0
+        || memory.ofmapSramKb == 0) {
+        fatal("SRAM sizes must be non-zero");
+    }
+    // Operand regions must not overlap (addresses are word-granular
+    // and region extents are workload-dependent, so require distinct,
+    // ordered bases with generous gaps).
+    if (memory.ifmapOffset >= memory.filterOffset
+        || memory.filterOffset >= memory.ofmapOffset) {
+        fatal("operand address regions must be ordered "
+              "ifmap < filter < ofmap");
+    }
+    if (sparsity.optimizedMapping && sparsity.blockSize < 2)
+        fatal("row-wise sparsity needs BlockSize >= 2 (got %u)",
+              sparsity.blockSize);
+    if (dram.enabled) {
+        if (dram.channels == 0)
+            fatal("DRAM needs at least one channel");
+        if (dram.readQueueSize == 0 || dram.writeQueueSize == 0)
+            fatal("request queues must be non-empty");
+        if (dram.coreClockMhz <= 0.0)
+            fatal("CoreClockMhz must be positive");
+    }
+    if (layout.enabled) {
+        if (layout.banks == 0 || layout.portsPerBank == 0)
+            fatal("layout model needs non-zero banks and ports");
+        if (layout.onChipBandwidth == 0)
+            fatal("OnChipBandwidth must be non-zero");
+    }
+    if (energy.enabled) {
+        if (energy.rowSize == 0 || energy.bankSize == 0)
+            fatal("energy RowSize/BankSize must be non-zero");
+        if (energy.frequencyGhz <= 0.0)
+            fatal("FrequencyGhz must be positive");
+    }
+}
+
+SimConfig
+SimConfig::load(const std::string& path)
+{
+    return fromIni(IniFile::load(path));
+}
+
+SimConfig
+SimConfig::tpuV2Like()
+{
+    // TPU-v2-ish tensor core: 128x128 MXU, large unified buffers.
+    SimConfig cfg;
+    cfg.runName = "tpu_v2_like";
+    cfg.arrayRows = 128;
+    cfg.arrayCols = 128;
+    cfg.dataflow = Dataflow::WeightStationary;
+    cfg.memory.ifmapSramKb = 6144;
+    cfg.memory.filterSramKb = 6144;
+    cfg.memory.ofmapSramKb = 2048;
+    cfg.memory.bandwidthWordsPerCycle = 100.0;
+    return cfg;
+}
+
+SimConfig
+SimConfig::tpuMemoryStudy()
+{
+    // Section V-C: TPU configuration, 128-entry queues, DDR4-2400.
+    SimConfig cfg = tpuV2Like();
+    cfg.runName = "tpu_memory_study";
+    cfg.dram.enabled = true;
+    cfg.dram.tech = "DDR4_2400";
+    cfg.dram.channels = 1;
+    cfg.dram.readQueueSize = 128;
+    cfg.dram.writeQueueSize = 128;
+    return cfg;
+}
+
+} // namespace scalesim

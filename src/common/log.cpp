@@ -1,0 +1,97 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace scalesim
+{
+
+namespace
+{
+bool g_quiet = false;
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    g_quiet = quiet;
+}
+
+bool
+quiet()
+{
+    return g_quiet;
+}
+
+std::string
+vformat(const char* fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return fmt;
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+std::string
+format(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string out = vformat(fmt, args);
+    va_end(args);
+    return out;
+}
+
+void
+inform(const char* fmt, ...)
+{
+    if (g_quiet)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const char* fmt, ...)
+{
+    if (g_quiet)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+fatal(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+void
+panic(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace scalesim

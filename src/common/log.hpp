@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: inform(), warn(), fatal(),
+ * panic(). fatal() is for user errors (bad config/topology) and throws a
+ * FatalError so library embedders can catch it; panic() is for internal
+ * invariant violations and aborts.
+ */
+
+#ifndef SCALESIM_COMMON_LOG_HH
+#define SCALESIM_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace scalesim
+{
+
+/** Raised by fatal(); message carries the formatted reason. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char* fmt, std::va_list args);
+std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Informational message to stderr (prefixed "info:"). */
+void inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Warning message to stderr (prefixed "warn:"). */
+void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * User-caused unrecoverable condition: prints "fatal:" and throws
+ * FatalError.
+ */
+[[noreturn]] void fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Internal invariant violation: prints "panic:" and aborts. */
+[[noreturn]] void panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Globally silence inform()/warn() (used by benches for clean tables). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace scalesim
+
+#endif // SCALESIM_COMMON_LOG_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible
+ * simulations (sparsity pattern synthesis, workload randomization).
+ * xoshiro256** — fast, high quality, and stable across platforms, unlike
+ * std::default_random_engine.
+ */
+
+#ifndef SCALESIM_COMMON_RNG_HH
+#define SCALESIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace scalesim
+{
+
+/** Seedable xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5ca1e51Dull) { reseed(seed); }
+
+    /** Reset the stream from a 64-bit seed (SplitMix64 expansion). */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = (~bound + 1) % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+} // namespace scalesim
+
+#endif // SCALESIM_COMMON_RNG_HH

@@ -1,0 +1,146 @@
+#include "common/topology.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+
+#include "common/csv.hpp"
+#include "common/log.hpp"
+
+namespace scalesim
+{
+
+std::uint64_t
+Topology::totalMacs() const
+{
+    std::uint64_t total = 0;
+    for (const auto& layer : layers)
+        total += layer.macs() * layer.repetitions;
+    return total;
+}
+
+std::uint64_t
+Topology::totalWeightWords() const
+{
+    std::uint64_t total = 0;
+    for (const auto& layer : layers) {
+        GemmDims g = layer.toGemm();
+        total += g.k * g.n * layer.repetitions;
+    }
+    return total;
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+parseSparsityRatio(const std::string& text)
+{
+    if (text.empty() || text == "dense" || text == "-")
+        return {0, 0};
+    auto colon = text.find(':');
+    if (colon == std::string::npos)
+        fatal("malformed sparsity ratio '%s' (expected N:M)",
+              text.c_str());
+    char* end = nullptr;
+    long n = std::strtol(text.c_str(), &end, 10);
+    if (end != text.c_str() + colon)
+        fatal("malformed sparsity ratio '%s'", text.c_str());
+    long m = std::strtol(text.c_str() + colon + 1, &end, 10);
+    if (*end != '\0' || n < 0 || m <= 0 || n > m)
+        fatal("malformed sparsity ratio '%s'", text.c_str());
+    return {static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(m)};
+}
+
+namespace
+{
+
+std::uint64_t
+parseDim(const std::string& cell, const char* what,
+         const std::string& layer)
+{
+    if (cell.empty())
+        fatal("layer %s: missing %s", layer.c_str(), what);
+    char* end = nullptr;
+    long long v = std::strtoll(cell.c_str(), &end, 10);
+    if (*end != '\0' || v < 0)
+        fatal("layer %s: bad %s value '%s'", layer.c_str(), what,
+              cell.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+Topology
+Topology::parseCsv(std::istream& in, std::string name)
+{
+    Topology topo;
+    topo.name = std::move(name);
+    CsvTable table = CsvTable::parse(in);
+
+    const bool gemm_format = table.findColumn("M") >= 0
+        && table.findColumn("N") >= 0 && table.findColumn("K") >= 0;
+    const bool conv_format = table.findColumn("IFMAP Height") >= 0;
+    if (!gemm_format && !conv_format)
+        fatal("topology %s: unrecognized header", topo.name.c_str());
+
+    for (std::size_t i = 0; i < table.numRows(); ++i) {
+        std::string layer_name = table.cell(i, "Layer name");
+        if (layer_name.empty())
+            layer_name = table.cell(i, "Layer");
+        if (layer_name.empty())
+            layer_name = format("layer%zu", i);
+
+        LayerSpec spec;
+        if (gemm_format) {
+            spec = LayerSpec::gemm(
+                layer_name,
+                parseDim(table.cell(i, "M"), "M", layer_name),
+                parseDim(table.cell(i, "N"), "N", layer_name),
+                parseDim(table.cell(i, "K"), "K", layer_name));
+        } else {
+            spec = LayerSpec::conv(
+                layer_name,
+                parseDim(table.cell(i, "IFMAP Height"), "ifmap height",
+                         layer_name),
+                parseDim(table.cell(i, "IFMAP Width"), "ifmap width",
+                         layer_name),
+                parseDim(table.cell(i, "Filter Height"), "filter height",
+                         layer_name),
+                parseDim(table.cell(i, "Filter Width"), "filter width",
+                         layer_name),
+                parseDim(table.cell(i, "Channels"), "channels",
+                         layer_name),
+                parseDim(table.cell(i, "Num Filter"), "num filter",
+                         layer_name),
+                parseDim(table.cell(i, "Strides"), "strides",
+                         layer_name));
+        }
+        auto ratio = parseSparsityRatio(table.cell(i, "SparsitySupport"));
+        spec.sparseN = ratio.first;
+        spec.sparseM = ratio.second;
+        const std::string tail = table.cell(i, "VectorTail");
+        if (!tail.empty())
+            spec.tail = vectorTailFromString(tail);
+        topo.layers.push_back(std::move(spec));
+    }
+    if (topo.layers.empty())
+        fatal("topology %s: no layers", topo.name.c_str());
+    return topo;
+}
+
+Topology
+Topology::load(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open topology file: %s", path.c_str());
+    // Use the basename (without extension) as the topology name.
+    std::string name = path;
+    auto slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    auto dot = name.find_last_of('.');
+    if (dot != std::string::npos)
+        name = name.substr(0, dot);
+    return parseCsv(in, name);
+}
+
+} // namespace scalesim

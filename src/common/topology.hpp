@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Workload topology front-end: parses SCALE-Sim style CSV topology files
+ * (convolution format and GEMM format) into LayerSpec lists, including
+ * the v3 `SparsitySupport` column ("N:M" ratios per layer).
+ */
+
+#ifndef SCALESIM_COMMON_TOPOLOGY_HH
+#define SCALESIM_COMMON_TOPOLOGY_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace scalesim
+{
+
+/** A named list of layers. */
+struct Topology
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+
+    /** Dense MAC count across all layers (incl. repetitions). */
+    std::uint64_t totalMacs() const;
+
+    /** Sum of per-layer max operand footprints in words. */
+    std::uint64_t totalWeightWords() const;
+
+    /**
+     * Parse a SCALE-Sim topology CSV. Convolution files have columns
+     * Layer name, IFMAP Height/Width, Filter Height/Width, Channels,
+     * Num Filter, Strides [, SparsitySupport]. GEMM files have columns
+     * Layer, M, N, K [, SparsitySupport]. The format is auto-detected
+     * from the header.
+     */
+    static Topology parseCsv(std::istream& in, std::string name);
+
+    /** Load a topology CSV from disk; fatal() on errors. */
+    static Topology load(const std::string& path);
+};
+
+/**
+ * Parse an "N:M" sparsity annotation. Returns {0, 0} for empty/dense
+ * cells; fatal() on malformed text.
+ */
+std::pair<std::uint32_t, std::uint32_t>
+parseSparsityRatio(const std::string& text);
+
+} // namespace scalesim
+
+#endif // SCALESIM_COMMON_TOPOLOGY_HH

@@ -1,0 +1,150 @@
+#include "common/types.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace scalesim
+{
+
+std::string
+toString(Dataflow df)
+{
+    switch (df) {
+      case Dataflow::OutputStationary: return "os";
+      case Dataflow::WeightStationary: return "ws";
+      case Dataflow::InputStationary: return "is";
+    }
+    return "os";
+}
+
+Dataflow
+dataflowFromString(std::string_view text)
+{
+    std::string lower(text);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "os" || lower == "output_stationary")
+        return Dataflow::OutputStationary;
+    if (lower == "ws" || lower == "weight_stationary")
+        return Dataflow::WeightStationary;
+    if (lower == "is" || lower == "input_stationary")
+        return Dataflow::InputStationary;
+    throw std::invalid_argument("unknown dataflow: " + std::string(text));
+}
+
+MappedDims
+mapGemm(const GemmDims& gemm, Dataflow df)
+{
+    // Table II of the paper.
+    switch (df) {
+      case Dataflow::InputStationary:
+        return {gemm.k, gemm.n, gemm.m};
+      case Dataflow::WeightStationary:
+        return {gemm.k, gemm.m, gemm.n};
+      case Dataflow::OutputStationary:
+        return {gemm.m, gemm.n, gemm.k};
+    }
+    return {gemm.m, gemm.n, gemm.k};
+}
+
+std::string
+toString(VectorTail tail)
+{
+    switch (tail) {
+      case VectorTail::None: return "none";
+      case VectorTail::Activation: return "activation";
+      case VectorTail::Softmax: return "softmax";
+      case VectorTail::Quantize: return "quantize";
+    }
+    return "none";
+}
+
+VectorTail
+vectorTailFromString(std::string_view text)
+{
+    std::string lower(text);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower.empty() || lower == "none" || lower == "-")
+        return VectorTail::None;
+    if (lower == "activation" || lower == "relu" || lower == "gelu")
+        return VectorTail::Activation;
+    if (lower == "softmax")
+        return VectorTail::Softmax;
+    if (lower == "quantize" || lower == "dequantize")
+        return VectorTail::Quantize;
+    throw std::invalid_argument("unknown vector tail: "
+                                + std::string(text));
+}
+
+std::uint64_t
+LayerSpec::ofmapH() const
+{
+    if (type != LayerType::Conv || ifmapH < filterH)
+        return 1;
+    return (ifmapH - filterH) / stride + 1;
+}
+
+std::uint64_t
+LayerSpec::ofmapW() const
+{
+    if (type != LayerType::Conv || ifmapW < filterW)
+        return 1;
+    return (ifmapW - filterW) / stride + 1;
+}
+
+GemmDims
+LayerSpec::toGemm() const
+{
+    const std::uint64_t b = batch == 0 ? 1 : batch;
+    if (type == LayerType::Gemm) {
+        GemmDims dims = gemmDims;
+        dims.m *= b;
+        return dims;
+    }
+    GemmDims dims;
+    dims.m = ofmapH() * ofmapW() * b;
+    dims.k = filterH * filterW * channels;
+    dims.n = numFilters;
+    return dims;
+}
+
+LayerSpec
+LayerSpec::conv(std::string name, std::uint64_t ifmap_h,
+                std::uint64_t ifmap_w, std::uint64_t filter_h,
+                std::uint64_t filter_w, std::uint64_t channels,
+                std::uint64_t num_filters, std::uint64_t stride,
+                std::uint32_t repetitions)
+{
+    LayerSpec spec;
+    spec.name = std::move(name);
+    spec.type = LayerType::Conv;
+    spec.ifmapH = ifmap_h;
+    spec.ifmapW = ifmap_w;
+    spec.filterH = filter_h;
+    spec.filterW = filter_w;
+    spec.channels = channels;
+    spec.numFilters = num_filters;
+    spec.stride = stride;
+    spec.repetitions = repetitions;
+    if (stride == 0)
+        fatal("layer %s: stride must be non-zero", spec.name.c_str());
+    return spec;
+}
+
+LayerSpec
+LayerSpec::gemm(std::string name, std::uint64_t m, std::uint64_t n,
+                std::uint64_t k, std::uint32_t repetitions)
+{
+    LayerSpec spec;
+    spec.name = std::move(name);
+    spec.type = LayerType::Gemm;
+    spec.gemmDims = {m, n, k};
+    spec.repetitions = repetitions;
+    return spec;
+}
+
+} // namespace scalesim

@@ -1,0 +1,317 @@
+#include "common/workloads.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/log.hpp"
+
+namespace scalesim::workloads
+{
+
+namespace
+{
+
+struct VitParams
+{
+    std::uint64_t seq;      // sequence length (patches + CLS)
+    std::uint64_t hidden;   // embedding dimension
+    std::uint64_t heads;    // attention heads
+    std::uint64_t mlp;      // MLP hidden dimension
+    std::uint32_t blocks;   // encoder depth
+    const char* tag;
+};
+
+VitParams
+vitParams(VitVariant variant)
+{
+    switch (variant) {
+      case VitVariant::Small:
+        return {197, 384, 6, 1536, 12, "vit_small"};
+      case VitVariant::Base:
+        return {197, 768, 12, 3072, 12, "vit_base"};
+      case VitVariant::Large:
+        return {197, 1024, 16, 4096, 24, "vit_large"};
+    }
+    return {197, 768, 12, 3072, 12, "vit_base"};
+}
+
+} // namespace
+
+Topology
+alexnet()
+{
+    Topology topo;
+    topo.name = "alexnet";
+    auto& l = topo.layers;
+    l.push_back(LayerSpec::conv("conv1", 227, 227, 11, 11, 3, 96, 4));
+    l.push_back(LayerSpec::conv("conv2", 31, 31, 5, 5, 96, 256, 1));
+    l.push_back(LayerSpec::conv("conv3", 15, 15, 3, 3, 256, 384, 1));
+    l.push_back(LayerSpec::conv("conv4", 15, 15, 3, 3, 384, 384, 1));
+    l.push_back(LayerSpec::conv("conv5", 15, 15, 3, 3, 384, 256, 1));
+    l.push_back(LayerSpec::gemm("fc6", 1, 4096, 9216));
+    l.push_back(LayerSpec::gemm("fc7", 1, 4096, 4096));
+    l.push_back(LayerSpec::gemm("fc8", 1, 1000, 4096));
+    return topo;
+}
+
+Topology
+resnet18()
+{
+    Topology topo;
+    topo.name = "resnet18";
+    auto& l = topo.layers;
+    l.push_back(LayerSpec::conv("conv1", 224, 224, 7, 7, 3, 64, 2));
+    // Stage 2: 56x56, 64 channels, two basic blocks.
+    l.push_back(LayerSpec::conv("conv2_1a", 56, 56, 3, 3, 64, 64, 1));
+    l.push_back(LayerSpec::conv("conv2_1b", 56, 56, 3, 3, 64, 64, 1));
+    l.push_back(LayerSpec::conv("conv2_2a", 56, 56, 3, 3, 64, 64, 1));
+    l.push_back(LayerSpec::conv("conv2_2b", 56, 56, 3, 3, 64, 64, 1));
+    // Stage 3: downsample to 28x28, 128 channels.
+    l.push_back(LayerSpec::conv("conv3_1a", 56, 56, 3, 3, 64, 128, 2));
+    l.push_back(LayerSpec::conv("conv3_1b", 28, 28, 3, 3, 128, 128, 1));
+    l.push_back(LayerSpec::conv("conv3_ds", 56, 56, 1, 1, 64, 128, 2));
+    l.push_back(LayerSpec::conv("conv3_2a", 28, 28, 3, 3, 128, 128, 1));
+    l.push_back(LayerSpec::conv("conv3_2b", 28, 28, 3, 3, 128, 128, 1));
+    // Stage 4: 14x14, 256 channels.
+    l.push_back(LayerSpec::conv("conv4_1a", 28, 28, 3, 3, 128, 256, 2));
+    l.push_back(LayerSpec::conv("conv4_1b", 14, 14, 3, 3, 256, 256, 1));
+    l.push_back(LayerSpec::conv("conv4_ds", 28, 28, 1, 1, 128, 256, 2));
+    l.push_back(LayerSpec::conv("conv4_2a", 14, 14, 3, 3, 256, 256, 1));
+    l.push_back(LayerSpec::conv("conv4_2b", 14, 14, 3, 3, 256, 256, 1));
+    // Stage 5: 7x7, 512 channels.
+    l.push_back(LayerSpec::conv("conv5_1a", 14, 14, 3, 3, 256, 512, 2));
+    l.push_back(LayerSpec::conv("conv5_1b", 7, 7, 3, 3, 512, 512, 1));
+    l.push_back(LayerSpec::conv("conv5_ds", 14, 14, 1, 1, 256, 512, 2));
+    l.push_back(LayerSpec::conv("conv5_2a", 7, 7, 3, 3, 512, 512, 1));
+    l.push_back(LayerSpec::conv("conv5_2b", 7, 7, 3, 3, 512, 512, 1));
+    l.push_back(LayerSpec::gemm("fc", 1, 1000, 512));
+    return topo;
+}
+
+Topology
+resnet18Prefix(std::size_t count)
+{
+    Topology topo = resnet18();
+    if (count < topo.layers.size())
+        topo.layers.resize(count);
+    topo.name = format("resnet18_first%zu", topo.layers.size());
+    return topo;
+}
+
+Topology
+resnet50()
+{
+    Topology topo;
+    topo.name = "resnet50";
+    auto& l = topo.layers;
+    l.push_back(LayerSpec::conv("conv1", 224, 224, 7, 7, 3, 64, 2));
+
+    // Stage 2: 56x56, bottleneck 64-64-256, 3 blocks.
+    l.push_back(LayerSpec::conv("conv2_1r", 56, 56, 1, 1, 64, 64, 1));
+    l.push_back(LayerSpec::conv("conv2_1m", 56, 56, 3, 3, 64, 64, 1));
+    l.push_back(LayerSpec::conv("conv2_1e", 56, 56, 1, 1, 64, 256, 1));
+    l.push_back(LayerSpec::conv("conv2_ds", 56, 56, 1, 1, 64, 256, 1));
+    l.push_back(LayerSpec::conv("conv2_xr", 56, 56, 1, 1, 256, 64, 1, 2));
+    l.push_back(LayerSpec::conv("conv2_xm", 56, 56, 3, 3, 64, 64, 1, 2));
+    l.push_back(LayerSpec::conv("conv2_xe", 56, 56, 1, 1, 64, 256, 1, 2));
+
+    // Stage 3: 28x28, bottleneck 128-128-512, 4 blocks.
+    l.push_back(LayerSpec::conv("conv3_1r", 56, 56, 1, 1, 256, 128, 2));
+    l.push_back(LayerSpec::conv("conv3_1m", 28, 28, 3, 3, 128, 128, 1));
+    l.push_back(LayerSpec::conv("conv3_1e", 28, 28, 1, 1, 128, 512, 1));
+    l.push_back(LayerSpec::conv("conv3_ds", 56, 56, 1, 1, 256, 512, 2));
+    l.push_back(LayerSpec::conv("conv3_xr", 28, 28, 1, 1, 512, 128, 1, 3));
+    l.push_back(LayerSpec::conv("conv3_xm", 28, 28, 3, 3, 128, 128, 1, 3));
+    l.push_back(LayerSpec::conv("conv3_xe", 28, 28, 1, 1, 128, 512, 1, 3));
+
+    // Stage 4: 14x14, bottleneck 256-256-1024, 6 blocks.
+    l.push_back(LayerSpec::conv("conv4_1r", 28, 28, 1, 1, 512, 256, 2));
+    l.push_back(LayerSpec::conv("conv4_1m", 14, 14, 3, 3, 256, 256, 1));
+    l.push_back(LayerSpec::conv("conv4_1e", 14, 14, 1, 1, 256, 1024, 1));
+    l.push_back(LayerSpec::conv("conv4_ds", 28, 28, 1, 1, 512, 1024, 2));
+    l.push_back(LayerSpec::conv("conv4_xr", 14, 14, 1, 1, 1024, 256, 1,
+                                5));
+    l.push_back(LayerSpec::conv("conv4_xm", 14, 14, 3, 3, 256, 256, 1,
+                                5));
+    l.push_back(LayerSpec::conv("conv4_xe", 14, 14, 1, 1, 256, 1024, 1,
+                                5));
+
+    // Stage 5: 7x7, bottleneck 512-512-2048, 3 blocks.
+    l.push_back(LayerSpec::conv("conv5_1r", 14, 14, 1, 1, 1024, 512, 2));
+    l.push_back(LayerSpec::conv("conv5_1m", 7, 7, 3, 3, 512, 512, 1));
+    l.push_back(LayerSpec::conv("conv5_1e", 7, 7, 1, 1, 512, 2048, 1));
+    l.push_back(LayerSpec::conv("conv5_ds", 14, 14, 1, 1, 1024, 2048, 2));
+    l.push_back(LayerSpec::conv("conv5_xr", 7, 7, 1, 1, 2048, 512, 1, 2));
+    l.push_back(LayerSpec::conv("conv5_xm", 7, 7, 3, 3, 512, 512, 1, 2));
+    l.push_back(LayerSpec::conv("conv5_xe", 7, 7, 1, 1, 512, 2048, 1, 2));
+
+    l.push_back(LayerSpec::gemm("fc", 1, 1000, 2048));
+    return topo;
+}
+
+Topology
+rcnn()
+{
+    // Fast-R-CNN-style: VGG16 conv backbone + per-ROI detection head
+    // (128 ROIs per image). See DESIGN.md (substitutions).
+    Topology topo;
+    topo.name = "rcnn";
+    auto& l = topo.layers;
+    l.push_back(LayerSpec::conv("conv1_1", 224, 224, 3, 3, 3, 64, 1));
+    l.push_back(LayerSpec::conv("conv1_2", 224, 224, 3, 3, 64, 64, 1));
+    l.push_back(LayerSpec::conv("conv2_1", 112, 112, 3, 3, 64, 128, 1));
+    l.push_back(LayerSpec::conv("conv2_2", 112, 112, 3, 3, 128, 128, 1));
+    l.push_back(LayerSpec::conv("conv3_1", 56, 56, 3, 3, 128, 256, 1));
+    l.push_back(LayerSpec::conv("conv3_2", 56, 56, 3, 3, 256, 256, 1, 2));
+    l.push_back(LayerSpec::conv("conv4_1", 28, 28, 3, 3, 256, 512, 1));
+    l.push_back(LayerSpec::conv("conv4_2", 28, 28, 3, 3, 512, 512, 1, 2));
+    l.push_back(LayerSpec::conv("conv5_1", 14, 14, 3, 3, 512, 512, 1, 3));
+    // Detection head over 128 region proposals.
+    l.push_back(LayerSpec::gemm("roi_fc6", 128, 4096, 25088));
+    l.push_back(LayerSpec::gemm("roi_fc7", 128, 4096, 4096));
+    l.push_back(LayerSpec::gemm("roi_cls", 128, 21, 4096));
+    l.push_back(LayerSpec::gemm("roi_bbox", 128, 84, 4096));
+    return topo;
+}
+
+Topology
+mobilenetV1()
+{
+    Topology topo;
+    topo.name = "mobilenet_v1";
+    auto& l = topo.layers;
+    l.push_back(LayerSpec::conv("conv1", 224, 224, 3, 3, 3, 32, 2));
+    // Each depthwise stage: one 3x3 plane per channel (reps = C),
+    // followed by a 1x1 pointwise conv.
+    struct Stage
+    {
+        std::uint64_t size;
+        std::uint64_t in;
+        std::uint64_t out;
+        std::uint64_t stride;
+        std::uint32_t reps;
+    };
+    const Stage stages[] = {
+        {112, 32, 64, 1, 1},   {112, 64, 128, 2, 1},
+        {56, 128, 128, 1, 1},  {56, 128, 256, 2, 1},
+        {28, 256, 256, 1, 1},  {28, 256, 512, 2, 1},
+        {14, 512, 512, 1, 5},  {14, 512, 1024, 2, 1},
+        {7, 1024, 1024, 1, 1},
+    };
+    int idx = 0;
+    for (const auto& st : stages) {
+        for (std::uint32_t r = 0; r < st.reps; ++r) {
+            ++idx;
+            l.push_back(LayerSpec::conv(
+                format("dw%d", idx), st.size, st.size, 3, 3, 1, 1,
+                st.stride, static_cast<std::uint32_t>(st.in)));
+            const std::uint64_t out_size = st.stride == 2
+                ? st.size / 2 : st.size;
+            l.push_back(LayerSpec::conv(
+                format("pw%d", idx), out_size, out_size, 1, 1, st.in,
+                st.out, 1));
+        }
+    }
+    l.push_back(LayerSpec::gemm("fc", 1, 1000, 1024));
+    return topo;
+}
+
+Topology
+vit(VitVariant variant)
+{
+    const VitParams p = vitParams(variant);
+    Topology topo;
+    topo.name = p.tag;
+    auto& l = topo.layers;
+    const std::uint64_t head_dim = p.hidden / p.heads;
+
+    l.push_back(LayerSpec::gemm("patch_embed", p.seq - 1, p.hidden,
+                                3 * 16 * 16));
+    // Encoder blocks all share the same GEMM shapes; use repetitions.
+    const std::uint32_t blocks = p.blocks;
+    const std::uint32_t heads = static_cast<std::uint32_t>(p.heads);
+    l.push_back(LayerSpec::gemm("attn_qkv", p.seq, 3 * p.hidden, p.hidden,
+                                blocks));
+    l.push_back(LayerSpec::gemm("attn_scores", p.seq, p.seq, head_dim,
+                                blocks * heads)
+                    .withTail(VectorTail::Softmax));
+    l.push_back(LayerSpec::gemm("attn_context", p.seq, head_dim, p.seq,
+                                blocks * heads));
+    l.push_back(LayerSpec::gemm("attn_proj", p.seq, p.hidden, p.hidden,
+                                blocks));
+    l.push_back(LayerSpec::gemm("mlp_fc1", p.seq, p.mlp, p.hidden,
+                                blocks)
+                    .withTail(VectorTail::Activation));
+    l.push_back(LayerSpec::gemm("mlp_fc2", p.seq, p.hidden, p.mlp,
+                                blocks));
+    l.push_back(LayerSpec::gemm("classifier", 1, 1000, p.hidden)
+                    .withTail(VectorTail::Softmax));
+    return topo;
+}
+
+Topology
+vitFeedForward(VitVariant variant)
+{
+    const VitParams p = vitParams(variant);
+    Topology topo;
+    topo.name = std::string(p.tag) + "_ff";
+    topo.layers.push_back(LayerSpec::gemm("mlp_fc1", p.seq, p.mlp,
+                                          p.hidden, p.blocks));
+    topo.layers.push_back(LayerSpec::gemm("mlp_fc2", p.seq, p.hidden,
+                                          p.mlp, p.blocks));
+    return topo;
+}
+
+Topology
+byName(const std::string& name)
+{
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "alexnet")
+        return alexnet();
+    if (lower == "resnet18")
+        return resnet18();
+    if (lower == "resnet50")
+        return resnet50();
+    if (lower == "rcnn")
+        return rcnn();
+    if (lower == "mobilenet" || lower == "mobilenet_v1")
+        return mobilenetV1();
+    if (lower == "vit_small" || lower == "vit_s")
+        return vit(VitVariant::Small);
+    if (lower == "vit_base" || lower == "vit_b")
+        return vit(VitVariant::Base);
+    if (lower == "vit_large" || lower == "vit_l")
+        return vit(VitVariant::Large);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+names()
+{
+    return {"alexnet", "resnet18", "resnet50", "rcnn", "mobilenet_v1",
+            "vit_small", "vit_base", "vit_large"};
+}
+
+Topology
+withUniformSparsity(Topology topo, std::uint32_t n, std::uint32_t m)
+{
+    for (auto& layer : topo.layers) {
+        layer.sparseN = n;
+        layer.sparseM = m;
+    }
+    topo.name += format("_%u_%u", n, m);
+    return topo;
+}
+
+Topology
+withBatch(Topology topo, std::uint64_t batch)
+{
+    for (auto& layer : topo.layers)
+        layer.batch = batch;
+    topo.name += format("_b%llu", (unsigned long long)batch);
+    return topo;
+}
+
+} // namespace scalesim::workloads

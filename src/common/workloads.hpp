@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Built-in workload topologies used throughout the paper's evaluation:
+ * AlexNet, ResNet-18, ResNet-50, an R-CNN (VGG16 backbone + detection
+ * head), and the ViT family expressed as encoder GEMM sequences.
+ *
+ * Layer dimensions come from the public model definitions; the R-CNN
+ * head is a representative Fast-R-CNN-style head (see DESIGN.md,
+ * substitutions).
+ */
+
+#ifndef SCALESIM_COMMON_WORKLOADS_HH
+#define SCALESIM_COMMON_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/topology.hpp"
+
+namespace scalesim::workloads
+{
+
+/** ViT model size variants. */
+enum class VitVariant
+{
+    Small,
+    Base,
+    Large,
+};
+
+/** AlexNet: 5 conv layers + 3 FC layers. */
+Topology alexnet();
+
+/** ResNet-18, all conv layers expanded + final FC. */
+Topology resnet18();
+
+/**
+ * The first `count` ResNet-18 layers (the paper's DRAM study uses six
+ * ResNet-18 layers).
+ */
+Topology resnet18Prefix(std::size_t count);
+
+/** ResNet-50 bottleneck network + final FC. */
+Topology resnet50();
+
+/** Fast-R-CNN-style detector: VGG16 backbone + per-ROI head. */
+Topology rcnn();
+
+/**
+ * MobileNetV1 (1.0, 224): depthwise-separable convolutions, expressed
+ * as per-channel depthwise planes (repetitions = channel count) plus
+ * 1x1 pointwise convolutions.
+ */
+Topology mobilenetV1();
+
+/** Full ViT encoder (patch embed + blocks + classifier) as GEMMs. */
+Topology vit(VitVariant variant);
+
+/** Only the feed-forward (MLP) GEMMs of a ViT encoder (Fig. 8). */
+Topology vitFeedForward(VitVariant variant);
+
+/**
+ * Look up a workload by name: "alexnet", "resnet18", "resnet50",
+ * "rcnn", "vit_small"/"vit_s", "vit_base"/"vit_b", "vit_large"/"vit_l".
+ * fatal() on unknown names.
+ */
+Topology byName(const std::string& name);
+
+/** All names accepted by byName(), canonical spellings. */
+std::vector<std::string> names();
+
+/**
+ * Return a copy of `topo` with every layer annotated with the same N:M
+ * sparsity ratio (layer-wise sparsity sweeps).
+ */
+Topology withUniformSparsity(Topology topo, std::uint32_t n,
+                             std::uint32_t m);
+
+/** Return a copy of `topo` with every layer's batch size set. */
+Topology withBatch(Topology topo, std::uint64_t batch);
+
+} // namespace scalesim::workloads
+
+#endif // SCALESIM_COMMON_WORKLOADS_HH

@@ -1,0 +1,133 @@
+#include "core/dse.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "common/csv.hpp"
+#include "common/log.hpp"
+
+namespace scalesim::core
+{
+
+std::vector<DsePoint>
+runSweep(const DseSweep& sweep, const Topology& topology)
+{
+    if (sweep.arraySizes.empty() || sweep.dataflows.empty()
+        || sweep.sramKbTotals.empty()) {
+        fatal("DSE sweep has an empty axis");
+    }
+    std::vector<DsePoint> points;
+    points.reserve(sweep.arraySizes.size() * sweep.dataflows.size()
+                   * sweep.sramKbTotals.size());
+    for (std::uint32_t array : sweep.arraySizes) {
+        for (Dataflow df : sweep.dataflows) {
+            for (std::uint64_t sram_kb : sweep.sramKbTotals) {
+                SimConfig cfg = sweep.base;
+                cfg.arrayRows = cfg.arrayCols = array;
+                cfg.dataflow = df;
+                cfg.energy.enabled = true;
+                cfg.memory.ifmapSramKb = sram_kb / 2;
+                cfg.memory.filterSramKb = sram_kb / 4;
+                cfg.memory.ofmapSramKb = sram_kb / 4;
+                Simulator sim(cfg);
+                const RunResult run = sim.run(topology);
+                DsePoint point;
+                point.array = array;
+                point.dataflow = df;
+                point.sramKb = sram_kb;
+                point.cycles = run.totalCycles;
+                point.energyMj = run.totalEnergy.totalMj();
+                point.edp = run.edp;
+                points.push_back(point);
+            }
+        }
+    }
+    return points;
+}
+
+namespace
+{
+
+template <typename Key>
+DsePoint
+bestBy(const std::vector<DsePoint>& points, Key key)
+{
+    if (points.empty())
+        fatal("no DSE points to rank");
+    return *std::min_element(points.begin(), points.end(),
+                             [&](const DsePoint& a, const DsePoint& b) {
+                                 return key(a) < key(b);
+                             });
+}
+
+} // namespace
+
+DsePoint
+bestByLatency(const std::vector<DsePoint>& points)
+{
+    return bestBy(points, [](const DsePoint& p) {
+        return static_cast<double>(p.cycles);
+    });
+}
+
+DsePoint
+bestByEnergy(const std::vector<DsePoint>& points)
+{
+    return bestBy(points, [](const DsePoint& p) { return p.energyMj; });
+}
+
+DsePoint
+bestByEdp(const std::vector<DsePoint>& points)
+{
+    return bestBy(points, [](const DsePoint& p) { return p.edp; });
+}
+
+std::vector<DsePoint>
+paretoFrontier(std::vector<DsePoint> points)
+{
+    // Sort by cycles, then sweep keeping strictly improving energy.
+    std::sort(points.begin(), points.end(),
+              [](const DsePoint& a, const DsePoint& b) {
+                  if (a.cycles != b.cycles)
+                      return a.cycles < b.cycles;
+                  return a.energyMj < b.energyMj;
+              });
+    std::vector<DsePoint> frontier;
+    double best_energy = std::numeric_limits<double>::max();
+    for (const auto& point : points) {
+        if (point.energyMj < best_energy) {
+            frontier.push_back(point);
+            best_energy = point.energyMj;
+        }
+    }
+    return frontier;
+}
+
+void
+writeDseReport(std::ostream& out, const std::vector<DsePoint>& points)
+{
+    const auto frontier = paretoFrontier(points);
+    auto on_frontier = [&](const DsePoint& p) {
+        for (const auto& f : frontier) {
+            if (f.array == p.array && f.dataflow == p.dataflow
+                && f.sramKb == p.sramKb) {
+                return true;
+            }
+        }
+        return false;
+    };
+    CsvWriter csv(out);
+    csv.writeRow({"Array", "Dataflow", "SramKB", "Cycles", "Energy_mJ",
+                  "EdP", "Pareto"});
+    for (const auto& p : points) {
+        csv.writeRow({std::to_string(p.array), toString(p.dataflow),
+                      std::to_string(p.sramKb),
+                      std::to_string(p.cycles),
+                      format("%.4f", p.energyMj),
+                      format("%.4g", p.edp),
+                      on_frontier(p) ? "yes" : "no"});
+    }
+}
+
+} // namespace scalesim::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Design-space exploration driver — the workflow the paper's §IX
+ * motivates (a latency-optimal design is rarely the energy- or
+ * EdP-optimal one, and v3's full-system metrics change the winner).
+ * Sweeps array size x dataflow x on-chip memory, collects latency /
+ * energy / EdP per design, and extracts the latency-energy Pareto
+ * frontier.
+ */
+
+#ifndef SCALESIM_CORE_DSE_HH
+#define SCALESIM_CORE_DSE_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace scalesim::core
+{
+
+/** One evaluated design point. */
+struct DsePoint
+{
+    std::uint32_t array = 32;
+    Dataflow dataflow = Dataflow::OutputStationary;
+    std::uint64_t sramKb = 512; ///< total on-chip SRAM
+
+    Cycle cycles = 0;
+    double energyMj = 0.0;
+    double edp = 0.0;
+
+    /** True if `other` is at least as good on both axes and better
+     *  on one (latency-energy dominance). */
+    bool
+    dominatedBy(const DsePoint& other) const
+    {
+        const bool no_worse = other.cycles <= cycles
+            && other.energyMj <= energyMj;
+        const bool better = other.cycles < cycles
+            || other.energyMj < energyMj;
+        return no_worse && better;
+    }
+};
+
+/** Sweep definition; the base config supplies every other knob. */
+struct DseSweep
+{
+    std::vector<std::uint32_t> arraySizes = {16, 32, 64, 128};
+    std::vector<Dataflow> dataflows = {Dataflow::OutputStationary,
+                                       Dataflow::WeightStationary,
+                                       Dataflow::InputStationary};
+    /** Total on-chip SRAM budgets (split 2:1:1 ifmap:filter:ofmap). */
+    std::vector<std::uint64_t> sramKbTotals = {1024};
+    SimConfig base;
+};
+
+/** Evaluate every point of the sweep on a workload. */
+std::vector<DsePoint> runSweep(const DseSweep& sweep,
+                               const Topology& topology);
+
+DsePoint bestByLatency(const std::vector<DsePoint>& points);
+DsePoint bestByEnergy(const std::vector<DsePoint>& points);
+DsePoint bestByEdp(const std::vector<DsePoint>& points);
+
+/**
+ * Latency-energy Pareto frontier, sorted by ascending cycles. Every
+ * returned point is non-dominated; every extreme (min-latency,
+ * min-energy) is included.
+ */
+std::vector<DsePoint> paretoFrontier(std::vector<DsePoint> points);
+
+/** CSV report of all points, flagging the Pareto-optimal ones. */
+void writeDseReport(std::ostream& out,
+                    const std::vector<DsePoint>& points);
+
+} // namespace scalesim::core
+
+#endif // SCALESIM_CORE_DSE_HH

@@ -1,0 +1,397 @@
+#include "core/simulator.hpp"
+
+#include <ostream>
+
+#include "common/csv.hpp"
+#include "common/log.hpp"
+#include "multicore/tensor_core.hpp"
+#include "systolic/demand.hpp"
+
+namespace scalesim::core
+{
+
+Simulator::Simulator(const SimConfig& cfg)
+    : cfg_(cfg)
+{
+    cfg_.validate();
+    if (cfg_.dram.enabled) {
+        dram_ = std::make_unique<dram::DramMemory>(cfg_.dram,
+                                                   cfg_.memory.wordBytes);
+        memory_ = dram_.get();
+    } else {
+        bandwidthMemory_ = std::make_unique<systolic::BandwidthMemory>(
+            cfg_.memory.bandwidthWordsPerCycle);
+        memory_ = bandwidthMemory_.get();
+    }
+
+    systolic::ScratchpadConfig spad;
+    spad.ifmapWords = sramWords(cfg_.memory.ifmapSramKb);
+    spad.filterWords = sramWords(cfg_.memory.filterSramKb);
+    spad.ofmapWords = sramWords(cfg_.memory.ofmapSramKb);
+    spad.readQueueSize = cfg_.dram.readQueueSize;
+    spad.writeQueueSize = cfg_.dram.writeQueueSize;
+    spad.burstWords = cfg_.memory.burstWords;
+    spad.issuePerCycle = cfg_.memory.issuePerCycle;
+    spad.prefetchDepth = cfg_.memory.prefetchDepth;
+    scratchpad_ = std::make_unique<systolic::DoubleBufferedScratchpad>(
+        spad, *memory_);
+
+    if (cfg_.energy.enabled) {
+        const double sram_kb = static_cast<double>(
+            cfg_.memory.ifmapSramKb + cfg_.memory.filterSramKb
+            + cfg_.memory.ofmapSramKb);
+        energyModel_ = std::make_unique<energy::EnergyModel>(
+            energy::Ert::forNode(cfg_.energy.node), cfg_.energy,
+            cfg_.numPes(), sram_kb);
+    }
+}
+
+Simulator::~Simulator() = default;
+
+std::uint64_t
+Simulator::sramWords(std::uint64_t kb) const
+{
+    const std::uint32_t word_bytes = std::max<std::uint32_t>(
+        1, cfg_.memory.wordBytes);
+    return kb * 1024 / word_bytes;
+}
+
+LayerResult
+Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
+{
+    const dram::DramStats dram_before = dram_
+        ? dram_->system().totalStats() : dram::DramStats{};
+    LayerResult result;
+    result.name = layer.name;
+    result.repetitions = layer.repetitions;
+    result.denseGemm = layer.toGemm();
+
+    // 1. Sparsity resolution (§IV).
+    sparse::SparseLayerModel sparse_model(layer, cfg_.sparsity,
+                                          layer_index);
+    result.effectiveGemm = sparse_model.effectiveGemm();
+    if (sparse_model.active())
+        result.sparse = sparse_model.report(cfg_.memory.wordBytes * 8);
+
+    const systolic::OperandMap operands = cfg_.memory.im2colAddressing
+        ? systolic::OperandMap::forLayer(layer, cfg_.memory)
+        : systolic::OperandMap(result.denseGemm, cfg_.memory);
+    const systolic::FoldGrid grid(result.effectiveGemm, cfg_.dataflow,
+                                  cfg_.arrayRows, cfg_.arrayCols);
+    result.utilization = static_cast<double>(result.denseGemm.macs())
+        / (static_cast<double>(grid.totalCycles()) * cfg_.numPes());
+    result.mappingEfficiency = grid.mappingEfficiency();
+
+    // 2. Demand-driven passes (trace mode): layout slowdown and exact
+    //    energy action counts share one generation pass.
+    const bool want_trace = cfg_.mode == SimMode::Trace
+        && (cfg_.layout.enabled || cfg_.energy.enabled);
+    const bool sparse_trace_ok = !sparse_model.active()
+        || cfg_.dataflow == Dataflow::WeightStationary;
+    std::optional<layout::BankConflictEvaluator> layout_eval;
+    std::optional<energy::ActionCountVisitor> action_visitor;
+    if (want_trace && sparse_trace_ok) {
+        const sparse::SparsityPattern* gather = sparse_model.active()
+            ? &sparse_model.pattern() : nullptr;
+        systolic::DemandGenerator generator(
+            result.denseGemm, cfg_.dataflow, cfg_.arrayRows,
+            cfg_.arrayCols, operands, gather);
+        std::vector<systolic::DemandVisitor*> sinks;
+        if (cfg_.layout.enabled) {
+            layout_eval.emplace(
+                cfg_.layout,
+                layout::OperandLayouts::forOperands(
+                    operands, cfg_.layout,
+                    layout::LayoutScheme::RowMajor));
+            sinks.push_back(&*layout_eval);
+        }
+        if (cfg_.energy.enabled) {
+            action_visitor.emplace(cfg_.energy);
+            sinks.push_back(&*action_visitor);
+        }
+        systolic::TeeVisitor tee(std::move(sinks));
+        generator.run(tee);
+    }
+    if (layout_eval)
+        result.layoutSlowdown = layout_eval->slowdown();
+
+    // 3. Memory-system timing (§V): fold-level prefetch scheduling
+    //    against the configured main memory through finite queues. The
+    //    running timeline keeps the memory model's clock aligned with
+    //    compute across layers.
+    scratchpad_->reset();
+    result.timing = scratchpad_->runLayer(grid, operands, timeline_,
+                                          result.layoutSlowdown);
+    result.computeCycles = result.timing.computeCycles;
+    result.totalCycles = result.timing.totalCycles;
+    result.stallCycles = result.timing.stallCycles;
+
+    // Element-wise tail on the vector unit, serialized after the
+    // matrix part (§III-C).
+    if (layer.tail != VectorTail::None) {
+        multicore::SimdConfig simd;
+        simd.lanes = cfg_.simdLanes;
+        simd.latencyPerOp = cfg_.simdLatencyPerOp;
+        result.simdCycles = multicore::simdCycles(
+            simd, layer.tail, result.denseGemm.m * result.denseGemm.n);
+        result.totalCycles += result.simdCycles;
+    }
+    timeline_ += result.timing.totalCycles
+        * std::max<std::uint32_t>(1, layer.repetitions);
+
+    // 4. Energy (§VII).
+    if (cfg_.energy.enabled) {
+        if (action_visitor) {
+            result.actions = action_visitor->counts();
+        } else {
+            result.actions = energy::analyticalActionCounts(grid,
+                                                            cfg_.energy);
+        }
+        // Stall and vector-tail cycles burn static + idle energy too.
+        result.actions.cycles += result.stallCycles
+            + result.simdCycles;
+        if (result.sparse) {
+            // Compressed-format metadata (intra-block indices /
+            // pointers) is read alongside the filter values (§IV-C).
+            const std::uint64_t word_bits = std::max<std::uint32_t>(
+                1, cfg_.memory.wordBytes) * 8;
+            result.actions.filterSram.readRandom +=
+                ceilDiv(result.sparse->metadataBits, word_bits);
+        }
+        if (layer.tail != VectorTail::None) {
+            std::uint64_t passes = 1;
+            if (layer.tail == VectorTail::Softmax)
+                passes = 3;
+            result.actions.vectorOps = result.denseGemm.m
+                * result.denseGemm.n * passes;
+        }
+        result.actions.dramReadWords = result.timing.dramReadWords;
+        result.actions.dramWriteWords = result.timing.dramWriteWords;
+        result.energyBreakdown = energyModel_->energy(result.actions);
+        if (dram_) {
+            // Replace the flat per-word DRAM estimate with the
+            // command-granular one derived from the controller stats.
+            const dram::DramStats after = dram_->system().totalStats();
+            result.energyBreakdown.dram =
+                energyModel_->dramCommandEnergyPj(
+                    after.rowMisses + after.rowConflicts
+                        - dram_before.rowMisses
+                        - dram_before.rowConflicts,
+                    after.reads - dram_before.reads,
+                    after.writes - dram_before.writes,
+                    after.refreshes - dram_before.refreshes);
+        }
+        result.powerW = energyModel_->averagePowerW(
+            result.energyBreakdown, result.totalCycles);
+    }
+    return result;
+}
+
+RunResult
+Simulator::run(const Topology& topology)
+{
+    RunResult run;
+    run.runName = cfg_.runName;
+    run.workload = topology.name;
+    run.layers.reserve(topology.layers.size());
+
+    for (std::size_t i = 0; i < topology.layers.size(); ++i) {
+        LayerResult layer = runLayer(topology.layers[i], i);
+        const std::uint64_t reps = layer.repetitions;
+        run.totalCycles += layer.totalCycles * reps;
+        run.computeCycles += layer.computeCycles * reps;
+        run.stallCycles += layer.stallCycles * reps;
+        run.dramReadWords += layer.timing.dramReadWords * reps;
+        run.dramWriteWords += layer.timing.dramWriteWords * reps;
+        if (cfg_.energy.enabled) {
+            energy::EnergyBreakdown scaled = layer.energyBreakdown;
+            scaled.peArray *= static_cast<double>(reps);
+            scaled.glb *= static_cast<double>(reps);
+            scaled.noc *= static_cast<double>(reps);
+            scaled.dram *= static_cast<double>(reps);
+            scaled.staticE *= static_cast<double>(reps);
+            run.totalEnergy.merge(scaled);
+            // One instantaneous-power sample per layer instance.
+            for (std::uint64_t r = 0; r < reps; ++r) {
+                run.powerTrace.push_back({layer.name,
+                                          layer.totalCycles,
+                                          layer.powerW});
+            }
+        }
+        run.layers.push_back(std::move(layer));
+    }
+    if (cfg_.energy.enabled && energyModel_) {
+        run.avgPowerW = energyModel_->averagePowerW(run.totalEnergy,
+                                                    run.totalCycles);
+        run.edp = energyModel_->edp(run.totalEnergy, run.totalCycles);
+    }
+    if (dram_)
+        run.dramStats = dram_->system().totalStats();
+    return run;
+}
+
+namespace
+{
+
+std::string
+fmtDouble(double v)
+{
+    return format("%.4f", v);
+}
+
+} // namespace
+
+void
+RunResult::writeSummary(std::ostream& out) const
+{
+    auto stat = [&](const char* name, const std::string& value,
+                    const char* desc) {
+        out << format("%-32s %20s  # %s\n", name, value.c_str(), desc);
+    };
+    out << "---------- " << runName << " on " << workload
+        << " ----------\n";
+    stat("sim.layers", std::to_string(layers.size()),
+         "distinct layers simulated");
+    stat("sim.totalCycles", std::to_string(totalCycles),
+         "wall-clock cycles incl. stalls");
+    stat("sim.computeCycles", std::to_string(computeCycles),
+         "ideal compute cycles");
+    stat("sim.stallCycles", std::to_string(stallCycles),
+         "memory stall cycles");
+    stat("sim.stallFraction",
+         format("%.4f", totalCycles ? static_cast<double>(stallCycles)
+                    / totalCycles : 0.0),
+         "stalls / total");
+    stat("mem.dramReadWords", std::to_string(dramReadWords),
+         "main-memory words read");
+    stat("mem.dramWriteWords", std::to_string(dramWriteWords),
+         "main-memory words written");
+    if (dramStats.reads + dramStats.writes > 0) {
+        stat("dram.rowHitRate", format("%.4f", dramStats.rowHitRate()),
+             "row-buffer hit rate");
+        stat("dram.avgReadLatency",
+             format("%.2f", dramStats.avgReadLatency()),
+             "memory clocks");
+        stat("dram.refreshes", std::to_string(dramStats.refreshes),
+             "all-bank refreshes");
+    }
+    if (totalEnergy.totalPj() > 0.0) {
+        stat("energy.total_mJ", format("%.4f", totalEnergy.totalMj()),
+             "total incl. DRAM");
+        stat("energy.onChip_mJ",
+             format("%.4f", totalEnergy.onChipMj()),
+             "PE + GLB + NoC + static");
+        stat("energy.avgPower_W", format("%.4f", avgPowerW),
+             "average power");
+        stat("energy.edp", format("%.4g", edp), "cycles x mJ");
+    }
+}
+
+void
+RunResult::writeComputeReport(std::ostream& out) const
+{
+    CsvWriter csv(out);
+    csv.writeRow({"LayerID", "LayerName", "Reps", "M", "N", "K",
+                  "EffK", "ComputeCycles", "StallCycles", "SimdCycles",
+                  "TotalCycles", "Utilization", "MappingEfficiency",
+                  "LayoutSlowdown"});
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const auto& l = layers[i];
+        csv.writeRow({std::to_string(i), l.name,
+                      std::to_string(l.repetitions),
+                      std::to_string(l.denseGemm.m),
+                      std::to_string(l.denseGemm.n),
+                      std::to_string(l.denseGemm.k),
+                      std::to_string(l.effectiveGemm.k),
+                      std::to_string(l.computeCycles),
+                      std::to_string(l.stallCycles),
+                      std::to_string(l.simdCycles),
+                      std::to_string(l.totalCycles),
+                      fmtDouble(l.utilization),
+                      fmtDouble(l.mappingEfficiency),
+                      fmtDouble(l.layoutSlowdown)});
+    }
+}
+
+void
+RunResult::writePowerReport(std::ostream& out) const
+{
+    CsvWriter csv(out);
+    csv.writeRow({"Epoch", "Layer", "StartCycle", "Cycles", "Power_W"});
+    Cycle start = 0;
+    for (std::size_t i = 0; i < powerTrace.size(); ++i) {
+        const auto& sample = powerTrace[i];
+        csv.writeRow({std::to_string(i), sample.label,
+                      std::to_string(start),
+                      std::to_string(sample.cycles),
+                      fmtDouble(sample.powerW)});
+        start += sample.cycles;
+    }
+    csv.writeRow({"AVG", "", "", std::to_string(totalCycles),
+                  fmtDouble(avgPowerW)});
+}
+
+void
+RunResult::writeBandwidthReport(std::ostream& out) const
+{
+    CsvWriter csv(out);
+    csv.writeRow({"LayerID", "LayerName", "DramReadWords",
+                  "DramWriteWords", "AvgReadBW_words_per_cycle",
+                  "AvgWriteBW_words_per_cycle", "AvgReadLatency",
+                  "ReadQueueStalls", "WriteQueueStalls"});
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const auto& l = layers[i];
+        csv.writeRow({std::to_string(i), l.name,
+                      std::to_string(l.timing.dramReadWords),
+                      std::to_string(l.timing.dramWriteWords),
+                      fmtDouble(l.timing.readBandwidth()),
+                      fmtDouble(l.timing.writeBandwidth()),
+                      fmtDouble(l.timing.avgReadLatency),
+                      std::to_string(l.timing.readQueueStalls),
+                      std::to_string(l.timing.writeQueueStalls)});
+    }
+}
+
+void
+RunResult::writeSparseReport(std::ostream& out) const
+{
+    CsvWriter csv(out);
+    csv.writeRow({"LayerName", "SparsityRep", "RatioN", "RatioM",
+                  "DenseK", "CompressedK", "OriginalFilterBits",
+                  "NewFilterBits", "MetadataBits"});
+    for (const auto& l : layers) {
+        if (!l.sparse)
+            continue;
+        const auto& s = *l.sparse;
+        csv.writeRow({s.layerName, s.representation,
+                      std::to_string(s.ratioN), std::to_string(s.ratioM),
+                      std::to_string(s.denseK),
+                      std::to_string(s.compressedK),
+                      std::to_string(s.originalFilterBits),
+                      std::to_string(s.newFilterBits),
+                      std::to_string(s.metadataBits)});
+    }
+}
+
+void
+RunResult::writeEnergyReport(std::ostream& out) const
+{
+    CsvWriter csv(out);
+    csv.writeRow({"LayerName", "PEArray_pJ", "GLB_pJ", "NoC_pJ",
+                  "DRAM_pJ", "Static_pJ", "Total_pJ", "Power_W"});
+    for (const auto& l : layers) {
+        const auto& e = l.energyBreakdown;
+        csv.writeRow({l.name, fmtDouble(e.peArray), fmtDouble(e.glb),
+                      fmtDouble(e.noc), fmtDouble(e.dram),
+                      fmtDouble(e.staticE), fmtDouble(e.totalPj()),
+                      fmtDouble(l.powerW)});
+    }
+    csv.writeRow({"TOTAL", fmtDouble(totalEnergy.peArray),
+                  fmtDouble(totalEnergy.glb), fmtDouble(totalEnergy.noc),
+                  fmtDouble(totalEnergy.dram),
+                  fmtDouble(totalEnergy.staticE),
+                  fmtDouble(totalEnergy.totalPj()),
+                  fmtDouble(avgPowerW)});
+}
+
+} // namespace scalesim::core

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * SCALE-Sim v3's end-to-end simulator: per-layer runs combining the
+ * systolic compute model, sparsity, the detailed DRAM model, on-chip
+ * data layout, and energy/power estimation, driven by one SimConfig.
+ * This is the public entry point library users should start from.
+ */
+
+#ifndef SCALESIM_CORE_SIMULATOR_HH
+#define SCALESIM_CORE_SIMULATOR_HH
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/topology.hpp"
+#include "dram/system.hpp"
+#include "energy/action_counts.hpp"
+#include "energy/model.hpp"
+#include "layout/layout.hpp"
+#include "sparse/model.hpp"
+#include "systolic/scratchpad.hpp"
+
+namespace scalesim::core
+{
+
+/** Everything the simulator learns about one layer. */
+struct LayerResult
+{
+    std::string name;
+    std::uint32_t repetitions = 1;
+    GemmDims denseGemm;
+    GemmDims effectiveGemm; ///< after sparsity compression
+
+    /** Ideal compute cycles of one instance (incl. layout slowdown). */
+    Cycle computeCycles = 0;
+    /** Vector-unit cycles of the layer's element-wise tail (§III-C). */
+    Cycle simdCycles = 0;
+    /** Wall-clock cycles of one instance, incl. memory stalls. */
+    Cycle totalCycles = 0;
+    Cycle stallCycles = 0;
+    double utilization = 0.0;
+    double mappingEfficiency = 0.0;
+    double layoutSlowdown = 1.0;
+
+    systolic::LayerTiming timing;
+    std::optional<sparse::SparseLayerReport> sparse;
+    energy::ActionCounts actions;
+    energy::EnergyBreakdown energyBreakdown;
+
+    /** Average power of the layer in watts (0 if energy disabled). */
+    double powerW = 0.0;
+};
+
+/** Whole-run results plus report writers. */
+struct RunResult
+{
+    std::string runName;
+    std::string workload;
+    std::vector<LayerResult> layers;
+
+    /** Totals across layers, weighted by repetitions. */
+    Cycle totalCycles = 0;
+    Cycle computeCycles = 0;
+    Cycle stallCycles = 0;
+    std::uint64_t dramReadWords = 0;
+    std::uint64_t dramWriteWords = 0;
+    energy::EnergyBreakdown totalEnergy;
+    double avgPowerW = 0.0;
+    /** Energy-delay product: totalCycles x total mJ. */
+    double edp = 0.0;
+    /** Detailed DRAM stats (meaningful when the DRAM model ran). */
+    dram::DramStats dramStats;
+
+    /**
+     * Instantaneous power profile (paper Table I: "Instantaneous +
+     * Average"): one sample per layer instance, in execution order.
+     */
+    std::vector<energy::PowerSample> powerTrace;
+
+    /** gem5-style human-readable stats summary. */
+    void writeSummary(std::ostream& out) const;
+    void writeComputeReport(std::ostream& out) const;
+    void writePowerReport(std::ostream& out) const;
+    void writeBandwidthReport(std::ostream& out) const;
+    void writeSparseReport(std::ostream& out) const;
+    void writeEnergyReport(std::ostream& out) const;
+};
+
+/** The v3 simulator. One instance per accelerator configuration. */
+class Simulator
+{
+  public:
+    explicit Simulator(const SimConfig& cfg);
+    ~Simulator();
+
+    const SimConfig& config() const { return cfg_; }
+
+    /** Simulate one layer (one instance; callers scale repetitions). */
+    LayerResult runLayer(const LayerSpec& layer,
+                         std::uint64_t layer_index = 0);
+
+    /** Simulate a whole topology. */
+    RunResult run(const Topology& topology);
+
+    /** Access the DRAM system (null unless the DRAM model is on). */
+    const dram::DramMemory* dramMemory() const { return dram_.get(); }
+
+  private:
+    std::uint64_t sramWords(std::uint64_t kb) const;
+
+    SimConfig cfg_;
+    std::unique_ptr<systolic::BandwidthMemory> bandwidthMemory_;
+    std::unique_ptr<dram::DramMemory> dram_;
+    systolic::MainMemory* memory_; // non-owning view of the active one
+    std::unique_ptr<systolic::DoubleBufferedScratchpad> scratchpad_;
+    std::unique_ptr<energy::EnergyModel> energyModel_;
+    /** Running clock across layers (keeps memory time aligned). */
+    Cycle timeline_ = 0;
+};
+
+} // namespace scalesim::core
+
+#endif // SCALESIM_CORE_SIMULATOR_HH

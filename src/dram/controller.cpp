@@ -1,0 +1,245 @@
+#include "dram/controller.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace scalesim::dram
+{
+
+void
+DramStats::merge(const DramStats& other)
+{
+    reads += other.reads;
+    writes += other.writes;
+    rowHits += other.rowHits;
+    refreshes += other.refreshes;
+    rowMisses += other.rowMisses;
+    rowConflicts += other.rowConflicts;
+    readBytes += other.readBytes;
+    writeBytes += other.writeBytes;
+    totalReadLatency += other.totalReadLatency;
+    firstArrival = std::min(firstArrival, other.firstArrival);
+    lastCompletion = std::max(lastCompletion, other.lastCompletion);
+}
+
+Channel::Channel(const DramTiming& timing, std::uint32_t ranks,
+                 std::uint32_t reorder_window,
+                 std::uint32_t hit_streak_cap, PagePolicy policy)
+    : timing_(timing), reorderWindow_(reorder_window),
+      hitStreakCap_(hit_streak_cap), policy_(policy),
+      banks_(static_cast<std::size_t>(ranks) * timing.banksPerRank)
+{
+    if (ranks == 0)
+        fatal("channel must have at least one rank");
+    if (reorderWindow_ == 0)
+        reorderWindow_ = 1;
+}
+
+std::uint64_t
+Channel::enqueue(const DecodedAddr& addr, bool write, Cycle arrival)
+{
+    const std::size_t gbank = static_cast<std::size_t>(addr.rank)
+        * timing_.banksPerRank + addr.bank;
+    if (gbank >= banks_.size())
+        fatal("decoded bank %zu out of range (%zu banks)", gbank,
+              banks_.size());
+    if (!pending_.empty() && arrival < pending_.back().arrival)
+        arrival = pending_.back().arrival; // enforce monotone arrivals
+    Pending req;
+    req.addr = addr;
+    req.write = write;
+    req.arrival = arrival;
+    req.seq = nextSeq_++;
+    pending_.push_back(req);
+    stats_.firstArrival = std::min(stats_.firstArrival, arrival);
+    return req.seq;
+}
+
+std::size_t
+Channel::pickNext(Cycle decision_time)
+{
+    // FR-FCFS over the reorder window: oldest row-hit first, bounded by
+    // the hit-streak cap to prevent starvation; otherwise the oldest.
+    const std::size_t window = std::min<std::size_t>(pending_.size(),
+                                                     reorderWindow_);
+    std::size_t oldest_arrived = pending_.size();
+    for (std::size_t i = 0; i < window; ++i) {
+        const Pending& req = pending_[i];
+        if (req.arrival > decision_time)
+            break;
+        if (oldest_arrived == pending_.size())
+            oldest_arrived = i;
+        const std::size_t gbank = static_cast<std::size_t>(req.addr.rank)
+            * timing_.banksPerRank + req.addr.bank;
+        const Bank& bank = banks_[gbank];
+        const bool hit = bank.open && bank.row == req.addr.row;
+        if (hit) {
+            const bool capped = hitStreak_ >= hitStreakCap_
+                && streakBank_ == gbank && streakRow_ == req.addr.row;
+            if (!capped)
+                return i;
+        }
+    }
+    // No hit available (or streak capped): oldest arrived request, or
+    // the overall oldest if nothing has arrived yet.
+    return oldest_arrived < pending_.size() ? oldest_arrived : 0;
+}
+
+Cycle
+Channel::serviceOne(const Pending& req)
+{
+    const std::size_t gbank = static_cast<std::size_t>(req.addr.rank)
+        * timing_.banksPerRank + req.addr.bank;
+    Bank& bank = banks_[gbank];
+    Cycle dt = std::max(req.arrival, lastColCmd_);
+
+    // All-bank refresh: every tREFI the rank precharges and refreshes
+    // for tRFC; requests due during the window wait for it, and every
+    // row buffer comes back closed.
+    if (timing_.tREFI > 0) {
+        while (nextRefresh_ + timing_.tREFI <= dt) {
+            nextRefresh_ += timing_.tREFI;
+            ++stats_.refreshes;
+        }
+        const Cycle refresh_end = nextRefresh_ + timing_.tRFC;
+        if (dt >= nextRefresh_ && dt < refresh_end) {
+            // Refresh in progress: banks close, request waits.
+            for (Bank& b : banks_) {
+                b.open = false;
+                b.preReady = std::max(b.preReady, refresh_end);
+            }
+            ++stats_.refreshes;
+            nextRefresh_ += timing_.tREFI;
+            dt = refresh_end;
+        }
+    }
+
+    Cycle col_ready;
+    RowOutcome outcome;
+    if (bank.open && bank.row == req.addr.row) {
+        outcome = RowOutcome::Hit;
+        col_ready = std::max(dt, bank.rcdDone);
+    } else {
+        Cycle act_start;
+        if (bank.open) {
+            outcome = RowOutcome::Conflict;
+            const Cycle pre = std::max(dt, bank.preReady);
+            act_start = pre + timing_.tRP;
+        } else {
+            outcome = RowOutcome::Miss;
+            act_start = std::max(dt, bank.preReady);
+        }
+        act_start = std::max(act_start, lastActAny_ + timing_.tRRD);
+        act_start = std::max(act_start, bank.lastAct + timing_.tRC);
+        if (actWindow_.size() >= 4) {
+            act_start = std::max(act_start,
+                                 actWindow_.front() + timing_.tFAW);
+        }
+        bank.lastAct = act_start;
+        lastActAny_ = act_start;
+        actWindow_.push_back(act_start);
+        if (actWindow_.size() > 4)
+            actWindow_.pop_front();
+        bank.rcdDone = act_start + timing_.tRCD;
+        bank.open = true;
+        bank.row = req.addr.row;
+        col_ready = bank.rcdDone;
+    }
+
+    Cycle col_cmd = std::max(col_ready, lastColCmd_ + timing_.tCCD);
+    if (!req.write && lastWasWrite_) {
+        // Write-to-read turnaround on the shared bus.
+        col_cmd = std::max(col_cmd, lastWriteDataEnd_ + timing_.tWTR);
+    }
+    const Cycle access_lat = req.write ? timing_.tCWL : timing_.tCL;
+    Cycle data_start = col_cmd + access_lat;
+    if (data_start < busFree_) {
+        col_cmd += busFree_ - data_start;
+        data_start = busFree_;
+    }
+    const Cycle data_end = data_start + timing_.tBurst;
+    busFree_ = data_end;
+    lastColCmd_ = col_cmd;
+    lastWasWrite_ = req.write;
+    if (req.write)
+        lastWriteDataEnd_ = data_end;
+
+    bank.preReady = std::max(bank.lastAct + timing_.tRAS,
+                             req.write ? data_end + timing_.tWR
+                                       : col_cmd + timing_.tRTP);
+    if (policy_ == PagePolicy::Closed) {
+        // Auto-precharge: the row closes as soon as it legally can;
+        // the next access to this bank is a plain miss.
+        bank.open = false;
+        bank.preReady += timing_.tRP;
+    }
+
+    // Row-hit streak bookkeeping.
+    if (outcome == RowOutcome::Hit && streakBank_ == gbank
+        && streakRow_ == req.addr.row) {
+        ++hitStreak_;
+    } else {
+        hitStreak_ = outcome == RowOutcome::Hit ? 1 : 0;
+        streakBank_ = static_cast<std::uint32_t>(gbank);
+        streakRow_ = req.addr.row;
+    }
+
+    switch (outcome) {
+      case RowOutcome::Hit: ++stats_.rowHits; break;
+      case RowOutcome::Miss: ++stats_.rowMisses; break;
+      case RowOutcome::Conflict: ++stats_.rowConflicts; break;
+    }
+    Cycle completion;
+    if (req.write) {
+        ++stats_.writes;
+        stats_.writeBytes += timing_.burstBytes;
+        completion = col_cmd; // posted: accepted at column command
+    } else {
+        ++stats_.reads;
+        stats_.readBytes += timing_.burstBytes;
+        completion = data_end;
+        stats_.totalReadLatency += data_end - req.arrival;
+    }
+    stats_.lastCompletion = std::max(stats_.lastCompletion, data_end);
+    return completion;
+}
+
+Cycle
+Channel::serviceUntil(std::uint64_t seq)
+{
+    for (;;) {
+        auto done = completed_.find(seq);
+        if (done != completed_.end()) {
+            const Cycle completion = done->second;
+            completed_.erase(done);
+            return completion;
+        }
+        if (pending_.empty())
+            panic("serviceUntil(%llu): request not pending",
+                  static_cast<unsigned long long>(seq));
+        const Cycle decision_time = std::max(pending_.front().arrival,
+                                             lastColCmd_);
+        const std::size_t idx = pickNext(decision_time);
+        const Pending req = pending_[idx];
+        pending_.erase(pending_.begin()
+                       + static_cast<std::ptrdiff_t>(idx));
+        completed_[req.seq] = serviceOne(req);
+    }
+}
+
+void
+Channel::drainAll()
+{
+    while (!pending_.empty()) {
+        const Cycle decision_time = std::max(pending_.front().arrival,
+                                             lastColCmd_);
+        const std::size_t idx = pickNext(decision_time);
+        const Pending req = pending_[idx];
+        pending_.erase(pending_.begin()
+                       + static_cast<std::ptrdiff_t>(idx));
+        completed_[req.seq] = serviceOne(req);
+    }
+}
+
+} // namespace scalesim::dram

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Single-channel DRAM controller: per-bank row-buffer state machine,
+ * JEDEC timing enforcement (tRCD/tRP/tCL/tRAS/tRC/tRRD/tFAW/tCCD/tWR/
+ * tRTP/tWTR), shared data-bus occupancy, and FR-FCFS scheduling with a
+ * bounded reorder window and a row-hit streak cap.
+ *
+ * The controller is event-driven at request granularity: it never ticks
+ * idle cycles, so million-request traces simulate in milliseconds while
+ * every inter-command constraint is honored exactly.
+ */
+
+#ifndef SCALESIM_DRAM_CONTROLLER_HH
+#define SCALESIM_DRAM_CONTROLLER_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/timing.hpp"
+
+namespace scalesim::dram
+{
+
+/** Channel-local coordinates of a transaction. */
+struct DecodedAddr
+{
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+    std::uint64_t col = 0;
+};
+
+/** Row-buffer outcome of one serviced transaction. */
+enum class RowOutcome
+{
+    Hit,
+    Miss,     ///< bank was closed (empty row buffer)
+    Conflict, ///< different row was open
+};
+
+/**
+ * Row-buffer management policy: open-page keeps rows open for locality
+ * (hits cheap, conflicts expensive); closed-page auto-precharges after
+ * every access (no hits, but no conflicts either — better for random
+ * traffic).
+ */
+enum class PagePolicy
+{
+    Open,
+    Closed,
+};
+
+/** Aggregate statistics of one channel (or summed across channels). */
+struct DramStats
+{
+    Count reads = 0;
+    Count writes = 0;
+    Count rowHits = 0;
+    Count rowMisses = 0;
+    Count rowConflicts = 0;
+    /** All-bank refresh operations performed. */
+    Count refreshes = 0;
+    std::uint64_t readBytes = 0;
+    std::uint64_t writeBytes = 0;
+    /** Sum over reads of (data completion - arrival), memory clocks. */
+    Cycle totalReadLatency = 0;
+    Cycle firstArrival = ~static_cast<Cycle>(0);
+    Cycle lastCompletion = 0;
+
+    double
+    rowHitRate() const
+    {
+        const Count total = rowHits + rowMisses + rowConflicts;
+        return total ? static_cast<double>(rowHits) / total : 0.0;
+    }
+    double
+    avgReadLatency() const
+    {
+        return reads ? static_cast<double>(totalReadLatency) / reads
+                     : 0.0;
+    }
+
+    void merge(const DramStats& other);
+};
+
+/**
+ * One DRAM channel. Requests are enqueued with monotonically
+ * non-decreasing arrival times; serviceUntil() drains the pending queue
+ * until a given request completes. In the coupled (synchronous) flow
+ * the queue holds at most the requests of one burst batch, making the
+ * schedule FCFS; the trace-driven flow enqueues whole traces and gets
+ * genuine FR-FCFS reordering.
+ */
+class Channel
+{
+  public:
+    Channel(const DramTiming& timing, std::uint32_t ranks,
+            std::uint32_t reorder_window = 32,
+            std::uint32_t hit_streak_cap = 16,
+            PagePolicy policy = PagePolicy::Open);
+
+    /** Enqueue; returns the request's sequence handle. */
+    std::uint64_t enqueue(const DecodedAddr& addr, bool write,
+                          Cycle arrival);
+
+    /** Service pending requests until `seq` completes; returns its
+     *  completion time (data arrival for reads, column-command issue
+     *  for writes), in memory clocks. */
+    Cycle serviceUntil(std::uint64_t seq);
+
+    /** Service everything currently pending. */
+    void drainAll();
+
+    const DramStats& stats() const { return stats_; }
+
+    /** Earliest cycle the data bus frees up (for utilization calcs). */
+    Cycle busFree() const { return busFree_; }
+
+  private:
+    struct Pending
+    {
+        DecodedAddr addr;
+        bool write = false;
+        Cycle arrival = 0;
+        std::uint64_t seq = 0;
+    };
+
+    struct Bank
+    {
+        bool open = false;
+        std::uint64_t row = 0;
+        Cycle rcdDone = 0;   ///< earliest column cmd to the open row
+        Cycle preReady = 0;  ///< earliest legal precharge
+        Cycle lastAct = 0;
+    };
+
+    /** Index into pending_ of the next request to service. */
+    std::size_t pickNext(Cycle decision_time);
+
+    /** Service one pending request; returns completion time. */
+    Cycle serviceOne(const Pending& req);
+
+    DramTiming timing_;
+    std::uint32_t reorderWindow_;
+    std::uint32_t hitStreakCap_;
+    PagePolicy policy_;
+
+    std::deque<Pending> pending_;
+    std::vector<Bank> banks_;
+    DramStats stats_;
+
+    Cycle busFree_ = 0;
+    Cycle lastColCmd_ = 0;
+    bool lastWasWrite_ = false;
+    Cycle lastWriteDataEnd_ = 0;
+    Cycle lastActAny_ = 0;
+    /** Start of the next due refresh window (tREFI cadence). */
+    Cycle nextRefresh_ = 0;
+    std::deque<Cycle> actWindow_;
+    std::uint64_t nextSeq_ = 0;
+    // Completions of serviced requests awaiting retrieval.
+    std::unordered_map<std::uint64_t, Cycle> completed_;
+    std::uint64_t hitStreak_ = 0;
+    std::uint32_t streakBank_ = ~0u;
+    std::uint64_t streakRow_ = 0;
+};
+
+} // namespace scalesim::dram
+
+#endif // SCALESIM_DRAM_CONTROLLER_HH

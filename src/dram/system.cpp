@@ -1,0 +1,243 @@
+#include "dram/system.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace scalesim::dram
+{
+
+AddressMapping
+addressMappingFromString(std::string_view text)
+{
+    std::string c;
+    for (char ch : text) {
+        if (ch == '-' || ch == '_')
+            continue;
+        c.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch))));
+    }
+    if (c == "robaracoch")
+        return AddressMapping::RoBaRaCoCh;
+    if (c == "roracobach")
+        return AddressMapping::RoRaCoBaCh;
+    if (c == "rorabachco")
+        return AddressMapping::RoRaBaChCo;
+    fatal("unknown address mapping '%.*s'",
+          static_cast<int>(text.size()), text.data());
+}
+
+double
+TraceResult::bytesPerClock() const
+{
+    const Cycle span = makespan > stats.firstArrival
+        ? makespan - stats.firstArrival : 1;
+    return static_cast<double>(stats.readBytes + stats.writeBytes)
+        / static_cast<double>(span);
+}
+
+DramSystem::DramSystem(const DramSystemConfig& cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.channels == 0)
+        fatal("DRAM system needs at least one channel");
+    channels_.reserve(cfg_.channels);
+    for (std::uint32_t i = 0; i < cfg_.channels; ++i) {
+        channels_.emplace_back(cfg_.timing, cfg_.ranks,
+                               cfg_.reorderWindow, cfg_.hitStreakCap,
+                               cfg_.pagePolicy);
+    }
+}
+
+namespace
+{
+
+/**
+ * XOR-hashed channel selection: folding higher transaction bits into
+ * the channel index keeps strided tile fetches (whose strides would
+ * otherwise alias onto one channel) spread across all channels, as
+ * real memory controllers do with bit-permutation schemes. Consecutive
+ * transactions still rotate channels.
+ */
+std::uint64_t
+channelHash(std::uint64_t tx)
+{
+    return tx ^ (tx >> 6) ^ (tx >> 12) ^ (tx >> 20);
+}
+
+} // namespace
+
+DecodedAddr
+DramSystem::decode(Addr byte_addr, std::uint32_t& channel) const
+{
+    const std::uint64_t tx = byte_addr / cfg_.timing.burstBytes;
+    const std::uint64_t cols = cfg_.timing.colsPerRow();
+    const std::uint64_t banks = cfg_.timing.banksPerRank;
+    const std::uint64_t ranks = cfg_.ranks;
+    const std::uint64_t nch = cfg_.channels;
+
+    DecodedAddr out;
+    std::uint64_t rest = tx;
+    switch (cfg_.mapping) {
+      case AddressMapping::RoBaRaCoCh:
+        channel = static_cast<std::uint32_t>(channelHash(rest) % nch);
+        rest /= nch;
+        out.col = rest % cols;
+        rest /= cols;
+        out.rank = static_cast<std::uint32_t>(rest % ranks);
+        rest /= ranks;
+        out.bank = static_cast<std::uint32_t>(rest % banks);
+        rest /= banks;
+        out.row = rest % cfg_.timing.rowsPerBank;
+        break;
+      case AddressMapping::RoRaCoBaCh:
+        channel = static_cast<std::uint32_t>(channelHash(rest) % nch);
+        rest /= nch;
+        out.bank = static_cast<std::uint32_t>(rest % banks);
+        rest /= banks;
+        out.col = rest % cols;
+        rest /= cols;
+        out.rank = static_cast<std::uint32_t>(rest % ranks);
+        rest /= ranks;
+        out.row = rest % cfg_.timing.rowsPerBank;
+        break;
+      case AddressMapping::RoRaBaChCo:
+        out.col = rest % cols;
+        rest /= cols;
+        channel = static_cast<std::uint32_t>(channelHash(rest) % nch);
+        rest /= nch;
+        out.bank = static_cast<std::uint32_t>(rest % banks);
+        rest /= banks;
+        out.rank = static_cast<std::uint32_t>(rest % ranks);
+        rest /= ranks;
+        out.row = rest % cfg_.timing.rowsPerBank;
+        break;
+      default:
+        channel = 0;
+        break;
+    }
+    return out;
+}
+
+Cycle
+DramSystem::request(Addr byte_addr, std::uint64_t bytes, bool write,
+                    Cycle arrival)
+{
+    Cycle completion = arrival;
+    Addr addr = byte_addr;
+    std::uint64_t remaining = std::max<std::uint64_t>(bytes, 1);
+    while (remaining > 0) {
+        std::uint32_t ch = 0;
+        const DecodedAddr decoded = decode(addr, ch);
+        const std::uint64_t seq = channels_[ch].enqueue(decoded, write,
+                                                        arrival);
+        completion = std::max(completion,
+                              channels_[ch].serviceUntil(seq));
+        const std::uint64_t chunk = std::min<std::uint64_t>(
+            remaining, cfg_.timing.burstBytes);
+        addr += chunk;
+        remaining -= chunk;
+    }
+    return completion;
+}
+
+TraceResult
+DramSystem::runTrace(const std::vector<TraceEntry>& trace)
+{
+    TraceResult result;
+    result.latency.resize(trace.size());
+    struct Handle
+    {
+        std::uint32_t channel;
+        std::uint64_t seq;
+    };
+    std::vector<Handle> handles(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        std::uint32_t ch = 0;
+        const DecodedAddr decoded = decode(trace[i].byteAddr, ch);
+        handles[i] = {ch, channels_[ch].enqueue(decoded, trace[i].write,
+                                                trace[i].arrival)};
+    }
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Cycle done = channels_[handles[i].channel].serviceUntil(
+            handles[i].seq);
+        result.latency[i] = done > trace[i].arrival
+            ? done - trace[i].arrival : 0;
+    }
+    result.stats = totalStats();
+    result.makespan = result.stats.lastCompletion;
+    return result;
+}
+
+DramStats
+DramSystem::totalStats() const
+{
+    DramStats total;
+    for (const auto& ch : channels_)
+        total.merge(ch.stats());
+    return total;
+}
+
+const DramStats&
+DramSystem::channelStats(std::uint32_t ch) const
+{
+    if (ch >= channels_.size())
+        fatal("channel %u out of range", ch);
+    return channels_[ch].stats();
+}
+
+DramMemory::DramMemory(const DramConfig& cfg, std::uint32_t word_bytes)
+    : system_([&] {
+          DramSystemConfig sys;
+          sys.timing = timingPreset(cfg.tech);
+          sys.channels = cfg.channels;
+          sys.ranks = cfg.ranksPerChannel;
+          return sys;
+      }()),
+      wordBytes_(word_bytes == 0 ? 1 : word_bytes),
+      coreToMem_(system_.config().timing.clockMhz
+                 / (cfg.coreClockMhz > 0 ? cfg.coreClockMhz : 1000.0))
+{
+}
+
+Cycle
+DramMemory::toMem(Cycle core) const
+{
+    return static_cast<Cycle>(std::llround(
+        static_cast<double>(core) * coreToMem_));
+}
+
+Cycle
+DramMemory::toCore(Cycle mem) const
+{
+    return static_cast<Cycle>(std::ceil(
+        static_cast<double>(mem) / coreToMem_));
+}
+
+Cycle
+DramMemory::issueRead(Addr addr, Count words, Cycle now)
+{
+    const Cycle done_mem = system_.request(
+        addr * wordBytes_, words * wordBytes_, false, toMem(now));
+    const Cycle done = std::max(now + 1, toCore(done_mem));
+    ++stats_.readRequests;
+    stats_.readWords += words;
+    stats_.totalReadLatency += done - now;
+    return done;
+}
+
+Cycle
+DramMemory::issueWrite(Addr addr, Count words, Cycle now)
+{
+    const Cycle done_mem = system_.request(
+        addr * wordBytes_, words * wordBytes_, true, toMem(now));
+    const Cycle done = std::max(now + 1, toCore(done_mem));
+    ++stats_.writeRequests;
+    stats_.writeWords += words;
+    stats_.totalWriteLatency += done - now;
+    return done;
+}
+
+} // namespace scalesim::dram

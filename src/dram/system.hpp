@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Multi-channel DRAM system: address decoding across channels, the
+ * coupled request API used by the scratchpad, a Ramulator-style
+ * trace-driven API, and the MainMemory adapter that bridges core and
+ * memory clock domains.
+ */
+
+#ifndef SCALESIM_DRAM_SYSTEM_HH
+#define SCALESIM_DRAM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "dram/controller.hpp"
+#include "systolic/memory.hpp"
+
+namespace scalesim::dram
+{
+
+/** Physical address bit interleaving order (lowest bits first). */
+enum class AddressMapping
+{
+    /** ch : col : rank : bank : row — bursts interleave channels. */
+    RoBaRaCoCh,
+    /** ch : bank : col : rank : row — banks interleave first. */
+    RoRaCoBaCh,
+    /** col : ch : bank : rank : row — rows stay channel-local. */
+    RoRaBaChCo,
+};
+
+AddressMapping addressMappingFromString(std::string_view text);
+
+/** Full memory-system configuration. */
+struct DramSystemConfig
+{
+    DramTiming timing;
+    std::uint32_t channels = 1;
+    std::uint32_t ranks = 1;
+    AddressMapping mapping = AddressMapping::RoBaRaCoCh;
+    std::uint32_t reorderWindow = 32;
+    std::uint32_t hitStreakCap = 16;
+    PagePolicy pagePolicy = PagePolicy::Open;
+};
+
+/** One entry of an externally supplied demand trace (§V-B Step 1). */
+struct TraceEntry
+{
+    Cycle arrival = 0; ///< memory clocks
+    Addr byteAddr = 0;
+    bool write = false;
+};
+
+/** Result of a trace-driven simulation (§V-B Step 2). */
+struct TraceResult
+{
+    /** Round-trip latency of each entry, in memory clocks. */
+    std::vector<Cycle> latency;
+    DramStats stats;
+    /** Last data completion, in memory clocks. */
+    Cycle makespan = 0;
+
+    /** Achieved read+write bandwidth in bytes per memory clock. */
+    double bytesPerClock() const;
+};
+
+/** The multi-channel memory system. */
+class DramSystem
+{
+  public:
+    explicit DramSystem(const DramSystemConfig& cfg);
+
+    const DramSystemConfig& config() const { return cfg_; }
+
+    /** Decode a byte address; channel index returned separately. */
+    DecodedAddr decode(Addr byte_addr, std::uint32_t& channel) const;
+
+    /**
+     * Coupled request: `bytes` are split into bursts on consecutive
+     * addresses; returns the completion of the last burst, in memory
+     * clocks.
+     */
+    Cycle request(Addr byte_addr, std::uint64_t bytes, bool write,
+                  Cycle arrival);
+
+    /** Ramulator-style batch simulation with FR-FCFS reordering. */
+    TraceResult runTrace(const std::vector<TraceEntry>& trace);
+
+    /** Statistics summed across channels. */
+    DramStats totalStats() const;
+    const DramStats& channelStats(std::uint32_t ch) const;
+    std::uint32_t channels() const { return cfg_.channels; }
+
+  private:
+    DramSystemConfig cfg_;
+    std::vector<Channel> channels_;
+};
+
+/**
+ * systolic::MainMemory adapter: word addresses and core-clock cycles on
+ * the outside, byte addresses and memory clocks on the inside.
+ */
+class DramMemory : public systolic::MainMemory
+{
+  public:
+    /**
+     * @param cfg         parsed [memory] section (tech, channels,
+     *                    ranks, core clock)
+     * @param word_bytes  element size of the accelerator's words
+     */
+    DramMemory(const DramConfig& cfg, std::uint32_t word_bytes);
+
+    Cycle issueRead(Addr addr, Count words, Cycle now) override;
+    Cycle issueWrite(Addr addr, Count words, Cycle now) override;
+
+    DramSystem& system() { return system_; }
+    const DramSystem& system() const { return system_; }
+
+    /** core cycles -> memory clocks. */
+    Cycle toMem(Cycle core) const;
+    /** memory clocks -> core cycles (rounded up). */
+    Cycle toCore(Cycle mem) const;
+
+  private:
+    DramSystem system_;
+    std::uint32_t wordBytes_;
+    double coreToMem_;
+};
+
+} // namespace scalesim::dram
+
+#endif // SCALESIM_DRAM_SYSTEM_HH

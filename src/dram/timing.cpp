@@ -1,0 +1,158 @@
+#include "dram/timing.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/log.hpp"
+
+namespace scalesim::dram
+{
+
+namespace
+{
+
+std::string
+canonical(std::string_view name)
+{
+    std::string out;
+    for (char c : name) {
+        if (c == '-' || c == '_' || c == ' ')
+            continue;
+        out.push_back(static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c))));
+    }
+    return out;
+}
+
+DramTiming
+ddr3_1600()
+{
+    DramTiming t;
+    t.name = "DDR3_1600";
+    t.clockMhz = 800.0;
+    t.burstBytes = 64;
+    t.tBurst = 4;
+    t.tRCD = 11; t.tRP = 11; t.tCL = 11; t.tCWL = 8;
+    t.tRAS = 28; t.tRC = 39; t.tRRD = 5; t.tFAW = 24;
+    t.tWR = 12; t.tRTP = 6; t.tCCD = 4; t.tWTR = 6;
+    t.banksPerRank = 8;
+    t.rowBytes = 8192;
+    t.tREFI = 6240; t.tRFC = 128;
+    return t;
+}
+
+DramTiming
+ddr4_2400()
+{
+    DramTiming t;
+    t.name = "DDR4_2400";
+    t.clockMhz = 1200.0;
+    t.burstBytes = 64;
+    t.tBurst = 4;
+    t.tRCD = 16; t.tRP = 16; t.tCL = 16; t.tCWL = 12;
+    t.tRAS = 39; t.tRC = 55; t.tRRD = 6; t.tFAW = 26;
+    t.tWR = 18; t.tRTP = 9; t.tCCD = 6; t.tWTR = 9;
+    t.banksPerRank = 16;
+    t.rowBytes = 8192;
+    t.tREFI = 9360; t.tRFC = 420;
+    return t;
+}
+
+DramTiming
+ddr4_3200()
+{
+    DramTiming t;
+    t.name = "DDR4_3200";
+    t.clockMhz = 1600.0;
+    t.burstBytes = 64;
+    t.tBurst = 4;
+    t.tRCD = 22; t.tRP = 22; t.tCL = 22; t.tCWL = 16;
+    t.tRAS = 52; t.tRC = 74; t.tRRD = 8; t.tFAW = 34;
+    t.tWR = 24; t.tRTP = 12; t.tCCD = 8; t.tWTR = 12;
+    t.banksPerRank = 16;
+    t.rowBytes = 8192;
+    t.tREFI = 12480; t.tRFC = 560;
+    return t;
+}
+
+DramTiming
+lpddr4_3200()
+{
+    DramTiming t;
+    t.name = "LPDDR4_3200";
+    t.clockMhz = 1600.0;
+    t.burstBytes = 64; // BL16 on a x32 channel
+    t.tBurst = 8;
+    t.tRCD = 29; t.tRP = 29; t.tCL = 28; t.tCWL = 14;
+    t.tRAS = 67; t.tRC = 96; t.tRRD = 16; t.tFAW = 64;
+    t.tWR = 29; t.tRTP = 12; t.tCCD = 8; t.tWTR = 16;
+    t.banksPerRank = 8;
+    t.rowBytes = 4096;
+    t.tREFI = 6240; t.tRFC = 448;
+    return t;
+}
+
+DramTiming
+gddr5_6000()
+{
+    DramTiming t;
+    t.name = "GDDR5_6000";
+    t.clockMhz = 1500.0;
+    t.burstBytes = 64; // BL8 on a x32 channel... 2 channels ganged
+    t.tBurst = 2;
+    t.tRCD = 18; t.tRP = 18; t.tCL = 18; t.tCWL = 6;
+    t.tRAS = 42; t.tRC = 60; t.tRRD = 9; t.tFAW = 34;
+    t.tWR = 18; t.tRTP = 3; t.tCCD = 3; t.tWTR = 8;
+    t.banksPerRank = 16;
+    t.rowBytes = 8192;
+    t.tREFI = 2850; t.tRFC = 165;
+    return t;
+}
+
+DramTiming
+hbm2()
+{
+    DramTiming t;
+    t.name = "HBM2";
+    t.clockMhz = 1000.0;
+    t.burstBytes = 64; // BL4 on a 128-bit pseudo-channel
+    t.tBurst = 2;
+    t.tRCD = 14; t.tRP = 14; t.tCL = 14; t.tCWL = 4;
+    t.tRAS = 34; t.tRC = 48; t.tRRD = 4; t.tFAW = 16;
+    t.tWR = 16; t.tRTP = 4; t.tCCD = 2; t.tWTR = 8;
+    t.banksPerRank = 16;
+    t.rowBytes = 2048;
+    t.tREFI = 3900; t.tRFC = 260;
+    return t;
+}
+
+} // namespace
+
+DramTiming
+timingPreset(std::string_view name)
+{
+    const std::string c = canonical(name);
+    if (c == "DDR31600" || c == "DDR3")
+        return ddr3_1600();
+    if (c == "DDR42400" || c == "DDR4")
+        return ddr4_2400();
+    if (c == "DDR43200")
+        return ddr4_3200();
+    if (c == "LPDDR43200" || c == "LPDDR4")
+        return lpddr4_3200();
+    if (c == "GDDR56000" || c == "GDDR5")
+        return gddr5_6000();
+    if (c == "HBM2" || c == "HBM")
+        return hbm2();
+    fatal("unknown DRAM timing preset '%.*s'",
+          static_cast<int>(name.size()), name.data());
+}
+
+std::vector<std::string>
+timingPresetNames()
+{
+    return {"DDR3_1600", "DDR4_2400", "DDR4_3200", "LPDDR4_3200",
+            "GDDR5_6000", "HBM2"};
+}
+
+} // namespace scalesim::dram

@@ -1,0 +1,247 @@
+#include "energy/action_counts.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace scalesim::energy
+{
+
+namespace
+{
+
+/** Number of banked row-buffer trackers in the repeat lookup. */
+constexpr std::uint32_t kTrackerBanks = 32;
+
+} // namespace
+
+void
+ActionCounts::merge(const ActionCounts& other)
+{
+    macRandom += other.macRandom;
+    macConstant += other.macConstant;
+    macGated += other.macGated;
+    vectorOps += other.vectorOps;
+    ifmapSpadRead += other.ifmapSpadRead;
+    ifmapSpadWrite += other.ifmapSpadWrite;
+    weightSpadRead += other.weightSpadRead;
+    weightSpadWrite += other.weightSpadWrite;
+    psumSpadRead += other.psumSpadRead;
+    psumSpadWrite += other.psumSpadWrite;
+    ifmapSram.merge(other.ifmapSram);
+    filterSram.merge(other.filterSram);
+    ofmapSram.merge(other.ofmapSram);
+    dramReadWords += other.dramReadWords;
+    dramWriteWords += other.dramWriteWords;
+    nocWords += other.nocWords;
+    cycles += other.cycles;
+}
+
+bool
+ActionCountVisitor::RowTracker::access(std::uint64_t row)
+{
+    auto it = std::find(rows.begin(), rows.end(), row);
+    if (it != rows.end()) {
+        std::rotate(rows.begin(), it, it + 1); // move to MRU
+        return true;
+    }
+    rows.insert(rows.begin(), row);
+    if (rows.size() > capacity)
+        rows.pop_back();
+    return false;
+}
+
+ActionCountVisitor::ActionCountVisitor(const EnergyConfig& cfg,
+                                       bool clock_gating)
+    : cfg_(cfg), clockGating_(clock_gating)
+{
+    if (cfg_.rowSize == 0)
+        fatal("energy RowSize must be non-zero");
+    if (cfg_.bankSize == 0)
+        fatal("energy BankSize must be non-zero");
+}
+
+void
+ActionCountVisitor::beginLayer(const systolic::FoldGrid& grid,
+                               const systolic::OperandMap& /*operands*/)
+{
+    utilization_ = grid.utilization();
+    numPes_ = static_cast<std::uint64_t>(grid.arrayRows())
+        * grid.arrayCols();
+    arrayRows_ = grid.arrayRows();
+    arrayCols_ = grid.arrayCols();
+    auto reset = [&](RowTracker& t) {
+        t.capacity = cfg_.bankSize;
+        t.clear();
+    };
+    ifmapRows_.resize(kTrackerBanks);
+    filterRows_.resize(kTrackerBanks);
+    ofmapReadRows_.resize(kTrackerBanks);
+    ofmapWriteRows_.resize(kTrackerBanks);
+    for (auto& t : ifmapRows_) reset(t);
+    for (auto& t : filterRows_) reset(t);
+    for (auto& t : ofmapReadRows_) reset(t);
+    for (auto& t : ofmapWriteRows_) reset(t);
+    layerStart_ = counts_;
+}
+
+void
+ActionCountVisitor::countAccesses(std::vector<RowTracker>& trackers,
+                                  std::span<const Addr> addrs,
+                                  Count& random, Count& repeat)
+{
+    for (Addr addr : addrs) {
+        const std::uint64_t row = addr / cfg_.rowSize;
+        RowTracker& tracker = trackers[row % kTrackerBanks];
+        if (tracker.access(row))
+            ++repeat;
+        else
+            ++random;
+    }
+}
+
+void
+ActionCountVisitor::cycle(Cycle /*clk*/,
+                          std::span<const Addr> ifmap_reads,
+                          std::span<const Addr> filter_reads,
+                          std::span<const Addr> ofmap_reads,
+                          std::span<const Addr> ofmap_writes)
+{
+    countAccesses(ifmapRows_, ifmap_reads, counts_.ifmapSram.readRandom,
+                  counts_.ifmapSram.readRepeat);
+    countAccesses(filterRows_, filter_reads,
+                  counts_.filterSram.readRandom,
+                  counts_.filterSram.readRepeat);
+    countAccesses(ofmapReadRows_, ofmap_reads,
+                  counts_.ofmapSram.readRandom,
+                  counts_.ofmapSram.readRepeat);
+    countAccesses(ofmapWriteRows_, ofmap_writes,
+                  counts_.ofmapSram.writeRandom,
+                  counts_.ofmapSram.writeRepeat);
+}
+
+void
+ActionCountVisitor::endLayer(Cycle total_cycles)
+{
+    counts_.cycles += total_cycles;
+
+    // MAC action counts: PEs x cycles x utilization are real MACs; the
+    // remainder is constant (clocked) or gated (§VII-E).
+    const std::uint64_t pe_cycles = numPes_ * total_cycles;
+    const Count macs = static_cast<Count>(
+        static_cast<double>(pe_cycles) * utilization_ + 0.5);
+    counts_.macRandom += macs;
+    const Count idle_macs = pe_cycles > macs ? pe_cycles - macs : 0;
+    if (clockGating_)
+        counts_.macGated += idle_macs;
+    else
+        counts_.macConstant += idle_macs;
+
+    // Per-layer SRAM access deltas (the visitor may span many layers).
+    const Count ifmap_layer_reads = counts_.ifmapSram.reads()
+        - layerStart_.ifmapSram.reads();
+    const Count filter_layer_reads = counts_.filterSram.reads()
+        - layerStart_.filterSram.reads();
+
+    // PE scratchpads follow §VII-E's dataflow-sensitive rules: writes
+    // track the SRAM reads that deliver new data, reads track MACs.
+    counts_.ifmapSpadWrite += ifmap_layer_reads;
+    counts_.ifmapSpadRead += macs;
+    counts_.weightSpadWrite += filter_layer_reads;
+    counts_.weightSpadRead += macs;
+    counts_.psumSpadRead += macs;
+    counts_.psumSpadWrite += macs;
+
+    // Idle port-cycles: ifmap SRAM feeds R ports, filter and ofmap C.
+    const Count ifmap_ports = static_cast<Count>(arrayRows_)
+        * total_cycles;
+    const Count filter_ports = static_cast<Count>(arrayCols_)
+        * total_cycles;
+    const Count ofmap_ports = static_cast<Count>(arrayCols_)
+        * total_cycles;
+    const Count ifmap_used = ifmap_layer_reads;
+    const Count filter_used = filter_layer_reads;
+    const Count ofmap_used = counts_.ofmapSram.reads()
+        + counts_.ofmapSram.writes() - layerStart_.ofmapSram.reads()
+        - layerStart_.ofmapSram.writes();
+    counts_.ifmapSram.idle += ifmap_ports > ifmap_used
+        ? ifmap_ports - ifmap_used : 0;
+    counts_.filterSram.idle += filter_ports > filter_used
+        ? filter_ports - filter_used : 0;
+    counts_.ofmapSram.idle += ofmap_ports > ofmap_used
+        ? ofmap_ports - ofmap_used : 0;
+
+    // Every SRAM<->array word traverses the array-edge NoC.
+    counts_.nocWords += ifmap_used + filter_used + ofmap_used;
+}
+
+ActionCounts
+analyticalActionCounts(const systolic::FoldGrid& grid,
+                       const EnergyConfig& cfg, bool clock_gating)
+{
+    if (cfg.rowSize == 0)
+        fatal("energy RowSize must be non-zero");
+    ActionCounts counts;
+    counts.cycles = grid.totalCycles();
+
+    const std::uint64_t pe_cycles = static_cast<std::uint64_t>(
+        grid.arrayRows()) * grid.arrayCols() * counts.cycles;
+    const Count macs = grid.gemm().macs();
+    counts.macRandom = macs;
+    const Count idle_macs = pe_cycles > macs ? pe_cycles - macs : 0;
+    if (clock_gating)
+        counts.macGated = idle_macs;
+    else
+        counts.macConstant = idle_macs;
+
+    const auto sram = grid.sramAccessCounts();
+    // Every systolic access stream walks row buffers in a structured
+    // way: even skewed streams revisit the block a neighboring feeder
+    // touched one cycle earlier (see ActionCountVisitor), so the
+    // repeat fraction of a `rowSize`-word row buffer approaches
+    // (rowSize - 1) / rowSize for reads and writes alike. The trace
+    // path measures the exact split; this closed form estimates it.
+    const double seq = 1.0
+        - 1.0 / static_cast<double>(cfg.rowSize);
+    auto split = [&](Count total, double repeat_fraction, Count& random,
+                     Count& repeat) {
+        repeat = static_cast<Count>(
+            static_cast<double>(total) * repeat_fraction + 0.5);
+        random = total - repeat;
+    };
+    split(sram.ifmapReads, seq, counts.ifmapSram.readRandom,
+          counts.ifmapSram.readRepeat);
+    split(sram.filterReads, seq, counts.filterSram.readRandom,
+          counts.filterSram.readRepeat);
+    split(sram.ofmapWrites, seq, counts.ofmapSram.writeRandom,
+          counts.ofmapSram.writeRepeat);
+    split(sram.ofmapReads, seq, counts.ofmapSram.readRandom,
+          counts.ofmapSram.readRepeat);
+
+    counts.ifmapSpadWrite = counts.ifmapSram.reads();
+    counts.ifmapSpadRead = macs;
+    counts.weightSpadWrite = counts.filterSram.reads();
+    counts.weightSpadRead = macs;
+    counts.psumSpadRead = macs;
+    counts.psumSpadWrite = macs;
+
+    const Count ifmap_ports = static_cast<Count>(grid.arrayRows())
+        * counts.cycles;
+    const Count filter_ports = static_cast<Count>(grid.arrayCols())
+        * counts.cycles;
+    const Count ofmap_ports = filter_ports;
+    const Count ifmap_used = counts.ifmapSram.reads();
+    const Count filter_used = counts.filterSram.reads();
+    const Count ofmap_used = counts.ofmapSram.reads()
+        + counts.ofmapSram.writes();
+    counts.ifmapSram.idle = ifmap_ports > ifmap_used
+        ? ifmap_ports - ifmap_used : 0;
+    counts.filterSram.idle = filter_ports > filter_used
+        ? filter_ports - filter_used : 0;
+    counts.ofmapSram.idle = ofmap_ports > ofmap_used
+        ? ofmap_ports - ofmap_used : 0;
+    counts.nocWords = ifmap_used + filter_used + ofmap_used;
+    return counts;
+}
+
+} // namespace scalesim::energy

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Action-count generation (paper §VII-C/D/E): the trace-driven counter
+ * distinguishes repeated from random SRAM accesses using the 'row
+ * size' / 'bank size' lookup, and the analytical estimator produces
+ * the same structure from closed-form access counts for fast sweeps.
+ */
+
+#ifndef SCALESIM_ENERGY_ACTION_COUNTS_HH
+#define SCALESIM_ENERGY_ACTION_COUNTS_HH
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "systolic/demand.hpp"
+
+namespace scalesim::energy
+{
+
+/** Random/repeat/idle split for one smart-buffer SRAM. */
+struct SramActionCounts
+{
+    Count readRandom = 0;
+    Count readRepeat = 0;
+    Count writeRandom = 0;
+    Count writeRepeat = 0;
+    Count idle = 0;
+
+    Count reads() const { return readRandom + readRepeat; }
+    Count writes() const { return writeRandom + writeRepeat; }
+
+    void
+    merge(const SramActionCounts& o)
+    {
+        readRandom += o.readRandom;
+        readRepeat += o.readRepeat;
+        writeRandom += o.writeRandom;
+        writeRepeat += o.writeRepeat;
+        idle += o.idle;
+    }
+};
+
+/** Complete action-count summary for one layer (or accumulated run). */
+struct ActionCounts
+{
+    // MAC action types (§VII-E).
+    Count macRandom = 0;
+    Count macConstant = 0; ///< clocked, no new data
+    Count macGated = 0;    ///< clock-gated idle PEs
+
+    // PE scratchpads (§VII-E).
+    Count ifmapSpadRead = 0;
+    Count ifmapSpadWrite = 0;
+    Count weightSpadRead = 0;
+    Count weightSpadWrite = 0;
+    Count psumSpadRead = 0;
+    Count psumSpadWrite = 0;
+
+    // Smart-buffer SRAMs (§VII-C/D).
+    SramActionCounts ifmapSram;
+    SramActionCounts filterSram;
+    SramActionCounts ofmapSram;
+
+    // Vector/SIMD unit lane-operations (§III-C tails).
+    Count vectorOps = 0;
+
+    // Main memory and interconnect.
+    Count dramReadWords = 0;
+    Count dramWriteWords = 0;
+    Count nocWords = 0;
+
+    Cycle cycles = 0;
+
+    void merge(const ActionCounts& other);
+};
+
+/**
+ * Trace-driven action counter. Repeated-access lookup (§VII-C): each
+ * SRAM keeps `bankSize` most-recently-used row buffers of `rowSize`
+ * words; an access falling in a live row buffer is a repeat.
+ */
+class ActionCountVisitor : public systolic::DemandVisitor
+{
+  public:
+    ActionCountVisitor(const EnergyConfig& cfg, bool clock_gating = true);
+
+    void beginLayer(const systolic::FoldGrid& grid,
+                    const systolic::OperandMap& operands) override;
+    void cycle(Cycle clk, std::span<const Addr> ifmap_reads,
+               std::span<const Addr> filter_reads,
+               std::span<const Addr> ofmap_reads,
+               std::span<const Addr> ofmap_writes) override;
+    void endLayer(Cycle total_cycles) override;
+
+    const ActionCounts& counts() const { return counts_; }
+
+  private:
+    /** MRU row-buffer tracker for the repeat lookup. */
+    struct RowTracker
+    {
+        std::vector<std::uint64_t> rows; // MRU front
+        std::uint32_t capacity = 4;
+        bool access(std::uint64_t row);
+        void clear() { rows.clear(); }
+    };
+
+    void countAccesses(std::vector<RowTracker>& trackers,
+                       std::span<const Addr> addrs, Count& random,
+                       Count& repeat);
+
+    EnergyConfig cfg_;
+    bool clockGating_;
+    ActionCounts counts_;
+    /** counts_ snapshot taken at beginLayer, for per-layer deltas. */
+    ActionCounts layerStart_;
+    // One tracker per SRAM bank (rows hash across banks), each holding
+    // `bankSize` open row buffers.
+    std::vector<RowTracker> ifmapRows_;
+    std::vector<RowTracker> filterRows_;
+    std::vector<RowTracker> ofmapReadRows_;
+    std::vector<RowTracker> ofmapWriteRows_;
+    double utilization_ = 0.0;
+    std::uint64_t numPes_ = 0;
+    std::uint32_t arrayRows_ = 1;
+    std::uint32_t arrayCols_ = 1;
+};
+
+/**
+ * Closed-form action counts for the analytical path. Streaming-operand
+ * accesses are mostly sequential, so their repeat fraction is
+ * (rowSize - 1) / rowSize; stationary-tile loads stride across the
+ * operand and count as random.
+ */
+ActionCounts analyticalActionCounts(const systolic::FoldGrid& grid,
+                                    const EnergyConfig& cfg,
+                                    bool clock_gating = true);
+
+} // namespace scalesim::energy
+
+#endif // SCALESIM_ENERGY_ACTION_COUNTS_HH

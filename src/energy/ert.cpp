@@ -1,0 +1,67 @@
+#include "energy/ert.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/log.hpp"
+
+namespace scalesim::energy
+{
+
+Ert
+Ert::node65nm()
+{
+    return Ert{};
+}
+
+Ert
+Ert::forNode(std::string_view node)
+{
+    std::string c;
+    for (char ch : node) {
+        if (ch == ' ' || ch == '_')
+            continue;
+        c.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch))));
+    }
+    double scale = 1.0;
+    if (c == "65nm" || c.empty()) {
+        scale = 1.0;
+    } else if (c == "45nm") {
+        scale = 0.55;
+    } else if (c == "28nm") {
+        scale = 0.30;
+    } else if (c == "16nm") {
+        scale = 0.16;
+    } else {
+        fatal("unknown technology node '%.*s'",
+              static_cast<int>(node.size()), node.data());
+    }
+    Ert ert = node65nm();
+    ert.node = c;
+    ert.macRandom *= scale;
+    ert.macConstant *= scale;
+    ert.macGated *= scale;
+    ert.spadRead *= scale;
+    ert.spadWrite *= scale;
+    ert.vectorOpPj *= scale;
+    ert.sramReadRandom *= scale;
+    ert.sramReadRepeat *= scale;
+    ert.sramWriteRandom *= scale;
+    ert.sramWriteRepeat *= scale;
+    ert.sramIdle *= scale;
+    ert.nocPerWordPerDim8 *= scale;
+    // DRAM interface energy scales much more slowly with logic node.
+    const double dram_scale = 0.5 + 0.5 * scale;
+    ert.dramPerWord *= dram_scale;
+    ert.dramActPj *= dram_scale;
+    ert.dramReadBurstPj *= dram_scale;
+    ert.dramWriteBurstPj *= dram_scale;
+    ert.dramRefreshPj *= dram_scale;
+    ert.peClockPerCycle *= scale;
+    ert.peLeakPerCycle *= scale;
+    ert.sramStaticPerKbCycle *= scale;
+    return ert;
+}
+
+} // namespace scalesim::energy

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Energy reference table (ERT), the Accelergy-substitute primitive
+ * energy database. Per-action energies in picojoules for the
+ * components of the paper's baseline template (§VII-B): per-PE MAC and
+ * three register-file scratchpads, three smart-buffer SRAMs with
+ * distinct random/repeated access energies (§VII-C), NoC links, and
+ * main memory. Default values follow published 65 nm numbers of the
+ * Eyeriss/Accelergy line of work.
+ */
+
+#ifndef SCALESIM_ENERGY_ERT_HH
+#define SCALESIM_ENERGY_ERT_HH
+
+#include <string>
+#include <string_view>
+
+namespace scalesim::energy
+{
+
+/** Per-action energies (pJ) and static power for one technology. */
+struct Ert
+{
+    std::string node = "65nm";
+
+    // MAC unit action types (§VII-E), 8-bit operands.
+    double macRandom = 0.56;   ///< new operands, full switching
+    double macConstant = 0.12; ///< clocked but operands unchanged
+    double macGated = 0.012;   ///< clock-gated, leakage only
+
+    // PE-local register-file scratchpads (8-bit entries).
+    double spadRead = 0.06;
+    double spadWrite = 0.08;
+
+    /** One vector-unit lane-operation (activation/softmax step). */
+    double vectorOpPj = 0.35;
+
+    // Global (smart buffer) SRAM action types (§VII-C).
+    double sramReadRandom = 6.00;
+    double sramReadRepeat = 2.40;
+    double sramWriteRandom = 6.60;
+    double sramWriteRepeat = 2.70;
+    double sramIdle = 0.004; ///< per idle port-cycle
+
+    // Interconnect and main memory. NoC energy is per word per unit
+    // array dimension: delivering a word across an R x R array costs
+    // energy proportional to the wire length it traverses, so the
+    // model scales this by (array dimension / 8).
+    double nocPerWordPerDim8 = 0.30;
+    /** Flat per-word DRAM energy (bandwidth-model runs, §V off). */
+    double dramPerWord = 160.0;
+    // Command-granular DRAM energy, used when the detailed DRAM model
+    // supplies activate/burst/refresh counts (row locality matters).
+    double dramActPj = 3000.0;       ///< ACT + PRE pair
+    double dramReadBurstPj = 6400.0; ///< one read burst (array + IO)
+    double dramWriteBurstPj = 6600.0;
+    double dramRefreshPj = 25000.0;  ///< one all-bank refresh
+
+    /**
+     * Clock-tree / register infrastructure energy per PE per running
+     * cycle. Burned whenever the core clock toggles, independent of
+     * utilization; eliminated by clock gating (the idle state).
+     */
+    double peClockPerCycle = 0.50;
+    /** True leakage per PE per cycle (remains under clock gating). */
+    double peLeakPerCycle = 0.062;
+    /** Leakage per KB of on-chip SRAM, pJ per cycle. */
+    double sramStaticPerKbCycle = 0.0018;
+    /** Fraction of leakage retained under power gating. */
+    double powerGateRetention = 0.46;
+
+    /** 65 nm reference table (default). */
+    static Ert node65nm();
+    /** Scaled tables for other nodes: "45nm", "28nm", "16nm". */
+    static Ert forNode(std::string_view node);
+};
+
+} // namespace scalesim::energy
+
+#endif // SCALESIM_ENERGY_ERT_HH

@@ -1,0 +1,89 @@
+#include "energy/model.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace scalesim::energy
+{
+
+EnergyModel::EnergyModel(const Ert& ert, const EnergyConfig& cfg,
+                         std::uint64_t num_pes, double sram_total_kb)
+    : ert_(ert), cfg_(cfg), numPes_(num_pes), sramTotalKb_(sram_total_kb)
+{
+    if (cfg_.frequencyGhz <= 0.0)
+        fatal("energy model needs a positive clock frequency");
+}
+
+EnergyBreakdown
+EnergyModel::energy(const ActionCounts& counts) const
+{
+    EnergyBreakdown out;
+
+    const double macs = static_cast<double>(counts.macRandom)
+        * ert_.macRandom
+        + static_cast<double>(counts.macConstant) * ert_.macConstant
+        + static_cast<double>(counts.macGated) * ert_.macGated;
+    const double spads = static_cast<double>(counts.ifmapSpadRead
+            + counts.weightSpadRead + counts.psumSpadRead)
+        * ert_.spadRead
+        + static_cast<double>(counts.ifmapSpadWrite
+            + counts.weightSpadWrite + counts.psumSpadWrite)
+        * ert_.spadWrite;
+    out.peArray = macs + spads
+        + static_cast<double>(counts.vectorOps) * ert_.vectorOpPj;
+
+    auto sram_energy = [&](const SramActionCounts& s) {
+        return static_cast<double>(s.readRandom) * ert_.sramReadRandom
+            + static_cast<double>(s.readRepeat) * ert_.sramReadRepeat
+            + static_cast<double>(s.writeRandom) * ert_.sramWriteRandom
+            + static_cast<double>(s.writeRepeat) * ert_.sramWriteRepeat
+            + static_cast<double>(s.idle) * ert_.sramIdle;
+    };
+    out.glb = sram_energy(counts.ifmapSram)
+        + sram_energy(counts.filterSram)
+        + sram_energy(counts.ofmapSram);
+
+    // Word delivery distance grows with the array dimension.
+    const double dim_scale = std::sqrt(static_cast<double>(numPes_))
+        / 8.0;
+    out.noc = static_cast<double>(counts.nocWords)
+        * ert_.nocPerWordPerDim8 * dim_scale;
+    out.dram = static_cast<double>(counts.dramReadWords
+                                   + counts.dramWriteWords)
+        * ert_.dramPerWord;
+
+    out.staticE = static_cast<double>(counts.cycles)
+        * (static_cast<double>(numPes_)
+               * (ert_.peClockPerCycle + ert_.peLeakPerCycle)
+           + sramTotalKb_ * ert_.sramStaticPerKbCycle);
+    return out;
+}
+
+double
+EnergyModel::dramCommandEnergyPj(Count activates, Count read_bursts,
+                                 Count write_bursts,
+                                 Count refreshes) const
+{
+    return static_cast<double>(activates) * ert_.dramActPj
+        + static_cast<double>(read_bursts) * ert_.dramReadBurstPj
+        + static_cast<double>(write_bursts) * ert_.dramWriteBurstPj
+        + static_cast<double>(refreshes) * ert_.dramRefreshPj;
+}
+
+double
+EnergyModel::seconds(Cycle cycles) const
+{
+    return static_cast<double>(cycles) / (cfg_.frequencyGhz * 1e9);
+}
+
+double
+EnergyModel::averagePowerW(const EnergyBreakdown& breakdown,
+                           Cycle cycles) const
+{
+    if (cycles == 0)
+        return 0.0;
+    return breakdown.totalPj() * 1e-12 / seconds(cycles);
+}
+
+} // namespace scalesim::energy

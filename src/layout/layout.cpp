@@ -1,0 +1,207 @@
+#include "layout/layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace scalesim::layout
+{
+
+Layout2D
+Layout2D::rowMajor(std::uint64_t rows, std::uint64_t cols,
+                   std::uint64_t line_words)
+{
+    Layout2D l;
+    l.rows = rows;
+    l.cols = cols;
+    l.rowStep = 1;
+    l.colStep = std::max<std::uint64_t>(1, std::min(cols, line_words));
+    return l;
+}
+
+Layout2D
+Layout2D::colMajor(std::uint64_t rows, std::uint64_t cols,
+                   std::uint64_t line_words)
+{
+    Layout2D l;
+    l.rows = rows;
+    l.cols = cols;
+    l.rowStep = std::max<std::uint64_t>(1, std::min(rows, line_words));
+    l.colStep = 1;
+    return l;
+}
+
+Layout2D
+Layout2D::tiled(std::uint64_t rows, std::uint64_t cols,
+                std::uint64_t line_words)
+{
+    Layout2D l;
+    l.rows = rows;
+    l.cols = cols;
+    const std::uint64_t side = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::sqrt(
+               static_cast<double>(line_words))));
+    l.rowStep = std::max<std::uint64_t>(1, std::min(rows, side));
+    l.colStep = std::max<std::uint64_t>(
+        1, std::min(cols, line_words / l.rowStep));
+    return l;
+}
+
+OperandLayouts
+OperandLayouts::forGemm(const GemmDims& gemm,
+                        const LayoutModelConfig& cfg,
+                        LayoutScheme scheme)
+{
+    const std::uint64_t line_words = std::max<std::uint32_t>(
+        1, cfg.onChipBandwidth);
+    auto build = [&](std::uint64_t rows, std::uint64_t cols) {
+        switch (scheme) {
+          case LayoutScheme::RowMajor:
+            return Layout2D::rowMajor(rows, cols, line_words);
+          case LayoutScheme::ColMajor:
+            return Layout2D::colMajor(rows, cols, line_words);
+          case LayoutScheme::Tiled:
+            return Layout2D::tiled(rows, cols, line_words);
+        }
+        return Layout2D::rowMajor(rows, cols, line_words);
+    };
+    OperandLayouts layouts;
+    layouts.ifmap = build(gemm.m, gemm.k);
+    layouts.filter = build(gemm.k, gemm.n);
+    layouts.ofmap = build(gemm.m, gemm.n);
+    return layouts;
+}
+
+OperandLayouts
+OperandLayouts::forOperands(const systolic::OperandMap& map,
+                            const LayoutModelConfig& cfg,
+                            LayoutScheme scheme)
+{
+    OperandLayouts layouts = forGemm(map.dims, cfg, scheme);
+    if (map.conv) {
+        const std::uint64_t line_words = std::max<std::uint32_t>(
+            1, cfg.onChipBandwidth);
+        switch (scheme) {
+          case LayoutScheme::RowMajor:
+            layouts.ifmap = Layout2D::rowMajor(map.ifmapRows(),
+                                               map.ifmapRowWidth(),
+                                               line_words);
+            break;
+          case LayoutScheme::ColMajor:
+            layouts.ifmap = Layout2D::colMajor(map.ifmapRows(),
+                                               map.ifmapRowWidth(),
+                                               line_words);
+            break;
+          case LayoutScheme::Tiled:
+            layouts.ifmap = Layout2D::tiled(map.ifmapRows(),
+                                            map.ifmapRowWidth(),
+                                            line_words);
+            break;
+        }
+    }
+    return layouts;
+}
+
+BankConflictEvaluator::BankConflictEvaluator(
+    const LayoutModelConfig& cfg, const OperandLayouts& layouts)
+    : cfg_(cfg), layouts_(layouts)
+{
+    if (cfg_.banks == 0 || cfg_.portsPerBank == 0)
+        fatal("layout model needs non-zero banks and ports");
+    bandwidthPerBank_ = std::max<std::uint64_t>(
+        1, cfg_.onChipBandwidth / cfg_.banks);
+}
+
+void
+BankConflictEvaluator::beginLayer(const systolic::FoldGrid& grid,
+                                  const systolic::OperandMap& operands)
+{
+    operands_ = operands;
+    idealCycles_ = grid.totalCycles();
+    slowedCycles_ = 0;
+    conflictCycles_ = 0;
+}
+
+std::uint64_t
+BankConflictEvaluator::operandSlowdown(const Layout2D& layout,
+                                       std::span<const Addr> reads,
+                                       std::span<const Addr> extra,
+                                       Addr base, std::uint64_t row_width)
+{
+    scratch_.clear();
+    auto add = [&](Addr addr) {
+        const std::uint64_t off = addr - base;
+        const std::uint64_t r = off / row_width;
+        const std::uint64_t c = off % row_width;
+        const std::uint64_t line = layout.lineId(r, c);
+        const std::uint64_t col = layout.colId(r, c);
+        const std::uint32_t bank = static_cast<std::uint32_t>(
+            (col / bandwidthPerBank_) % cfg_.banks);
+        scratch_.emplace_back(bank, line);
+    };
+    for (Addr a : reads)
+        add(a);
+    for (Addr a : extra)
+        add(a);
+    if (scratch_.empty())
+        return 0;
+    std::sort(scratch_.begin(), scratch_.end());
+    scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                   scratch_.end());
+    // Count distinct lines per bank; the busiest bank dominates.
+    std::uint64_t worst = 0;
+    std::size_t i = 0;
+    while (i < scratch_.size()) {
+        const std::uint32_t bank = scratch_[i].first;
+        std::uint64_t lines = 0;
+        while (i < scratch_.size() && scratch_[i].first == bank) {
+            ++lines;
+            ++i;
+        }
+        worst = std::max(worst, lines);
+    }
+    return ceilDiv(worst, cfg_.portsPerBank);
+}
+
+void
+BankConflictEvaluator::cycle(Cycle /*clk*/,
+                             std::span<const Addr> ifmap_reads,
+                             std::span<const Addr> filter_reads,
+                             std::span<const Addr> ofmap_reads,
+                             std::span<const Addr> ofmap_writes)
+{
+    const std::uint64_t ifmap_cost = operandSlowdown(
+        layouts_.ifmap, ifmap_reads, {}, operands_.ifmapBase,
+        operands_.ifmapRowWidth());
+    const std::uint64_t filter_cost = operandSlowdown(
+        layouts_.filter, filter_reads, {}, operands_.filterBase,
+        operands_.dims.n);
+    const std::uint64_t ofmap_cost = operandSlowdown(
+        layouts_.ofmap, ofmap_reads, ofmap_writes, operands_.ofmapBase,
+        operands_.dims.n);
+
+    // The three SRAMs are accessed in parallel; the slowest gates the
+    // cycle. An idle cycle still takes one cycle.
+    const std::uint64_t cost = std::max<std::uint64_t>(
+        1, std::max({ifmap_cost, filter_cost, ofmap_cost}));
+    slowedCycles_ += cost;
+    if (cost > 1)
+        ++conflictCycles_;
+}
+
+void
+BankConflictEvaluator::endLayer(Cycle /*total_cycles*/)
+{
+}
+
+double
+BankConflictEvaluator::slowdown() const
+{
+    if (idealCycles_ == 0)
+        return 1.0;
+    return static_cast<double>(slowedCycles_)
+        / static_cast<double>(idealCycles_);
+}
+
+} // namespace scalesim::layout

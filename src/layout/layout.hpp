@@ -1,0 +1,149 @@
+/**
+ * @file
+ * On-chip data layout modeling (paper §VI). The multi-bank SRAM is
+ * abstracted as a 2D array: each "line" aggregates the same row index
+ * from all banks, and a nested-loop layout assigns every tensor element
+ * a (line_id, col_id) position; bank_id = col_id / bandwidth_per_bank.
+ * Per cycle, the bank with the most distinct lines requested divided by
+ * its port count sets the slowdown:
+ *
+ *   slowdown = max_i ceil(total_rows_bank_i / num_ports_bank_i)
+ *
+ * The evaluator taps the demand stream and integrates the slowdown over
+ * a whole layer, yielding the normalized slowdown of Figs. 12/13.
+ */
+
+#ifndef SCALESIM_LAYOUT_LAYOUT_HH
+#define SCALESIM_LAYOUT_LAYOUT_HH
+
+#include <array>
+#include <vector>
+
+#include "common/config.hpp"
+#include "systolic/demand.hpp"
+
+namespace scalesim::layout
+{
+
+/**
+ * Nested-loop layout of a 2D operand (rows x cols). Intra-line steps
+ * (rowStep, colStep) define the tile of elements sharing one line;
+ * lines enumerate the tiles in row-major order (the inter-line
+ * dimension order).
+ */
+struct Layout2D
+{
+    std::uint64_t rows = 1;
+    std::uint64_t cols = 1;
+    std::uint64_t rowStep = 1;
+    std::uint64_t colStep = 1;
+
+    std::uint64_t lineTiles() const
+    {
+        return ceilDiv(rows, rowStep) * ceilDiv(cols, colStep);
+    }
+    std::uint64_t wordsPerLine() const { return rowStep * colStep; }
+
+    std::uint64_t
+    lineId(std::uint64_t r, std::uint64_t c) const
+    {
+        return (r / rowStep) * ceilDiv(cols, colStep) + c / colStep;
+    }
+    std::uint64_t
+    colId(std::uint64_t r, std::uint64_t c) const
+    {
+        return (r % rowStep) * colStep + c % colStep;
+    }
+
+    /** Row-major lines of `line_words` consecutive elements. */
+    static Layout2D rowMajor(std::uint64_t rows, std::uint64_t cols,
+                             std::uint64_t line_words);
+    /** Column-major lines (line spans `line_words` rows of a column). */
+    static Layout2D colMajor(std::uint64_t rows, std::uint64_t cols,
+                             std::uint64_t line_words);
+    /** Square-ish tiles of roughly line_words elements. */
+    static Layout2D tiled(std::uint64_t rows, std::uint64_t cols,
+                          std::uint64_t line_words);
+};
+
+/** How each operand's elements are arranged in its SRAM. */
+enum class LayoutScheme
+{
+    RowMajor,
+    ColMajor,
+    Tiled,
+};
+
+/** Per-operand layouts for one layer. */
+struct OperandLayouts
+{
+    Layout2D ifmap;  // M x K
+    Layout2D filter; // K x N
+    Layout2D ofmap;  // M x N
+
+    /**
+     * Build layouts for a GEMM where each line holds
+     * `banks * bandwidth_per_bank` words.
+     */
+    static OperandLayouts forGemm(const GemmDims& gemm,
+                                  const LayoutModelConfig& cfg,
+                                  LayoutScheme scheme);
+
+    /**
+     * Build layouts for an operand map; convolution ifmaps lay out
+     * the real (H, W*C) tensor, matching the paper's C x H x W
+     * nested-loop example.
+     */
+    static OperandLayouts forOperands(const systolic::OperandMap& map,
+                                      const LayoutModelConfig& cfg,
+                                      LayoutScheme scheme);
+};
+
+/**
+ * Demand visitor that evaluates bank conflicts cycle by cycle.
+ * slowdown() is total slowed cycles / ideal cycles (>= 1).
+ */
+class BankConflictEvaluator : public systolic::DemandVisitor
+{
+  public:
+    BankConflictEvaluator(const LayoutModelConfig& cfg,
+                          const OperandLayouts& layouts);
+
+    void beginLayer(const systolic::FoldGrid& grid,
+                    const systolic::OperandMap& operands) override;
+    void cycle(Cycle clk, std::span<const Addr> ifmap_reads,
+               std::span<const Addr> filter_reads,
+               std::span<const Addr> ofmap_reads,
+               std::span<const Addr> ofmap_writes) override;
+    void endLayer(Cycle total_cycles) override;
+
+    /** Cycles the layer takes with bank conflicts applied. */
+    Cycle slowedCycles() const { return slowedCycles_; }
+    /** Ideal (conflict-free) cycles. */
+    Cycle idealCycles() const { return idealCycles_; }
+    /** slowedCycles / idealCycles, >= 1. */
+    double slowdown() const;
+    /** Cycles in which at least one bank exceeded its ports. */
+    Count conflictCycles() const { return conflictCycles_; }
+
+  private:
+    /** Distinct lines per bank for one operand's accesses. */
+    std::uint64_t operandSlowdown(const Layout2D& layout,
+                                  std::span<const Addr> reads,
+                                  std::span<const Addr> extra,
+                                  Addr base, std::uint64_t row_width);
+
+    LayoutModelConfig cfg_;
+    OperandLayouts layouts_;
+    systolic::OperandMap operands_;
+    std::uint64_t bandwidthPerBank_ = 1;
+    Cycle slowedCycles_ = 0;
+    Cycle idealCycles_ = 0;
+    Count conflictCycles_ = 0;
+    // Scratch: (bank, line) pairs of the cycle under evaluation.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> scratch_;
+};
+
+} // namespace scalesim::layout
+
+#endif // SCALESIM_LAYOUT_LAYOUT_HH

@@ -1,0 +1,69 @@
+#include "multicore/nop.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace scalesim::multicore
+{
+
+MeshNop::MeshNop(std::uint64_t pr, std::uint64_t pc,
+                 std::uint64_t mc_row, std::uint64_t mc_col)
+    : pr_(pr), pc_(pc), mcRow_(mc_row), mcCol_(mc_col)
+{
+    if (pr_ == 0 || pc_ == 0)
+        fatal("mesh NoP needs a non-empty grid");
+    if (mcRow_ >= pr_ || mcCol_ >= pc_)
+        fatal("memory-controller position outside the mesh");
+}
+
+MeshNop
+MeshNop::cornerAttached(std::uint64_t pr, std::uint64_t pc)
+{
+    return MeshNop(pr, pc, 0, 0);
+}
+
+MeshNop
+MeshNop::edgeCenterAttached(std::uint64_t pr, std::uint64_t pc)
+{
+    return MeshNop(pr, pc, 0, pc / 2);
+}
+
+std::uint32_t
+MeshNop::hops(std::uint64_t i, std::uint64_t j) const
+{
+    const std::uint64_t dr = i > mcRow_ ? i - mcRow_ : mcRow_ - i;
+    const std::uint64_t dc = j > mcCol_ ? j - mcCol_ : mcCol_ - j;
+    return static_cast<std::uint32_t>(dr + dc + 1);
+}
+
+std::vector<std::uint32_t>
+MeshNop::hopVector() const
+{
+    std::vector<std::uint32_t> out;
+    out.reserve(pr_ * pc_);
+    for (std::uint64_t i = 0; i < pr_; ++i)
+        for (std::uint64_t j = 0; j < pc_; ++j)
+            out.push_back(hops(i, j));
+    return out;
+}
+
+std::uint32_t
+MeshNop::maxHops() const
+{
+    const auto v = hopVector();
+    return *std::max_element(v.begin(), v.end());
+}
+
+NopConfig
+MeshNop::toNopConfig(Cycle latency_per_hop,
+                     double words_per_cycle) const
+{
+    NopConfig cfg;
+    cfg.latencyPerHop = latency_per_hop;
+    cfg.wordsPerCycle = words_per_cycle;
+    cfg.hops = hopVector();
+    return cfg;
+}
+
+} // namespace scalesim::multicore

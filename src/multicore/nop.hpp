@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Network-on-Package topology model (paper §III-D, Simba-style
+ * multi-chip modules): a 2D mesh of chiplets with the main-memory
+ * controller attached at a configurable edge position. Provides the
+ * per-core hop counts the non-uniform partitioner consumes and a
+ * simple link-serialization transfer model.
+ */
+
+#ifndef SCALESIM_MULTICORE_NOP_HH
+#define SCALESIM_MULTICORE_NOP_HH
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "multicore/system.hpp"
+
+namespace scalesim::multicore
+{
+
+/** 2D-mesh NoP: chiplet (i, j) sits at row i, column j. */
+class MeshNop
+{
+  public:
+    /**
+     * @param pr, pc       grid dimensions
+     * @param mc_row/col   mesh position of the memory-controller
+     *                     attach point
+     */
+    MeshNop(std::uint64_t pr, std::uint64_t pc, std::uint64_t mc_row,
+            std::uint64_t mc_col);
+
+    /** Mesh with the controller at the (0, 0) corner. */
+    static MeshNop cornerAttached(std::uint64_t pr, std::uint64_t pc);
+
+    /** Mesh with the controller at the middle of the top edge. */
+    static MeshNop edgeCenterAttached(std::uint64_t pr,
+                                      std::uint64_t pc);
+
+    std::uint64_t pr() const { return pr_; }
+    std::uint64_t pc() const { return pc_; }
+
+    /** Manhattan hops from the controller to core (i, j), plus the
+     *  ingress hop (so the nearest core still pays one hop). */
+    std::uint32_t hops(std::uint64_t i, std::uint64_t j) const;
+
+    /** Row-major hop vector, ready for NopConfig::hops. */
+    std::vector<std::uint32_t> hopVector() const;
+
+    /** Largest hop count in the mesh. */
+    std::uint32_t maxHops() const;
+
+    /**
+     * Build a NopConfig for the analytical multi-core simulator from
+     * this mesh and the link parameters.
+     */
+    NopConfig toNopConfig(Cycle latency_per_hop,
+                          double words_per_cycle) const;
+
+  private:
+    std::uint64_t pr_;
+    std::uint64_t pc_;
+    std::uint64_t mcRow_;
+    std::uint64_t mcCol_;
+};
+
+} // namespace scalesim::multicore
+
+#endif // SCALESIM_MULTICORE_NOP_HH

@@ -1,0 +1,149 @@
+#include "multicore/partition.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace scalesim::multicore
+{
+
+std::string
+toString(PartitionScheme scheme)
+{
+    switch (scheme) {
+      case PartitionScheme::Spatial: return "spatial";
+      case PartitionScheme::SpatioTemporal1: return "spatio_temporal_1";
+      case PartitionScheme::SpatioTemporal2: return "spatio_temporal_2";
+    }
+    return "spatial";
+}
+
+PartitionEval
+evaluatePartition(const GemmDims& gemm, Dataflow df,
+                  std::uint32_t array_rows, std::uint32_t array_cols,
+                  std::uint64_t pr, std::uint64_t pc,
+                  PartitionScheme scheme)
+{
+    if (pr == 0 || pc == 0)
+        fatal("partition grid must be non-zero");
+    const MappedDims mapped = systolic::mapGemmConventional(gemm, df);
+    const std::uint64_t sr = mapped.sr;
+    const std::uint64_t sc = mapped.sc;
+    const std::uint64_t t = mapped.t;
+    const std::uint64_t rows = array_rows;
+    const std::uint64_t cols = array_cols;
+
+    PartitionEval eval;
+    eval.scheme = scheme;
+    eval.pr = pr;
+    eval.pc = pc;
+
+    std::uint64_t sr_share = sr;
+    std::uint64_t sc_share = sc;
+    std::uint64_t t_share = t;
+    Cycle fold_cycles = 0;
+    std::uint64_t folds = 0;
+    switch (scheme) {
+      case PartitionScheme::Spatial:
+        sr_share = ceilDiv(sr, pr);
+        sc_share = ceilDiv(sc, pc);
+        fold_cycles = 2 * rows + cols + t - 2;
+        folds = ceilDiv(sr, pr * rows) * ceilDiv(sc, pc * cols);
+        break;
+      case PartitionScheme::SpatioTemporal1:
+        sr_share = ceilDiv(sr, pr);
+        t_share = ceilDiv(t, pc);
+        fold_cycles = 2 * rows + cols + t_share - 2;
+        folds = ceilDiv(sr, pr * rows) * ceilDiv(sc, cols);
+        break;
+      case PartitionScheme::SpatioTemporal2:
+        sc_share = ceilDiv(sc, pc);
+        t_share = ceilDiv(t, pr);
+        fold_cycles = 2 * rows + cols + t_share - 2;
+        folds = ceilDiv(sr, rows) * ceilDiv(sc, pc * cols);
+        break;
+    }
+    eval.cycles = fold_cycles * folds;
+
+    // Per-core operand partitions (Fig. 4): input Sr-share x T-share,
+    // weight Sc-share x T-share, plus the (possibly partial) output.
+    const std::uint64_t input_part = sr_share * t_share;
+    const std::uint64_t weight_part = sc_share * t_share;
+    const std::uint64_t output_part = sr_share * sc_share;
+    eval.footprintWords = pr * pc
+        * (input_part + weight_part + output_part);
+
+    // Shared-L2 deduplication: only distinct partitions are stored.
+    std::uint64_t unique_input = 0;
+    std::uint64_t unique_weight = 0;
+    std::uint64_t outputs = 0;
+    switch (scheme) {
+      case PartitionScheme::Spatial:
+        // Cores in a row share the input partition, cores in a column
+        // share the weight partition.
+        unique_input = pr * input_part;
+        unique_weight = pc * weight_part;
+        outputs = pr * pc * output_part;
+        break;
+      case PartitionScheme::SpatioTemporal1:
+        unique_input = pr * pc * input_part; // all distinct
+        unique_weight = pc * weight_part;    // shared along Pr
+        outputs = pr * pc * output_part;     // Pc partial copies
+        break;
+      case PartitionScheme::SpatioTemporal2:
+        unique_input = pr * input_part;      // shared along Pc
+        unique_weight = pr * pc * weight_part;
+        outputs = pr * pc * output_part;
+        break;
+    }
+    eval.l2FootprintWords = unique_input + unique_weight + outputs;
+    return eval;
+}
+
+std::vector<PartitionEval>
+enumeratePartitions(const GemmDims& gemm, Dataflow df,
+                    std::uint32_t array_rows, std::uint32_t array_cols,
+                    std::uint64_t cores, PartitionScheme scheme)
+{
+    if (cores == 0)
+        fatal("need at least one core");
+    std::vector<PartitionEval> evals;
+    for (std::uint64_t pr = 1; pr <= cores; ++pr) {
+        if (cores % pr)
+            continue;
+        evals.push_back(evaluatePartition(gemm, df, array_rows,
+                                          array_cols, pr, cores / pr,
+                                          scheme));
+    }
+    return evals;
+}
+
+PartitionEval
+bestByCycles(const std::vector<PartitionEval>& evals)
+{
+    if (evals.empty())
+        fatal("bestByCycles: no candidates");
+    return *std::min_element(
+        evals.begin(), evals.end(),
+        [](const PartitionEval& a, const PartitionEval& b) {
+            if (a.cycles != b.cycles)
+                return a.cycles < b.cycles;
+            return a.footprintWords < b.footprintWords;
+        });
+}
+
+PartitionEval
+bestByFootprint(const std::vector<PartitionEval>& evals)
+{
+    if (evals.empty())
+        fatal("bestByFootprint: no candidates");
+    return *std::min_element(
+        evals.begin(), evals.end(),
+        [](const PartitionEval& a, const PartitionEval& b) {
+            if (a.footprintWords != b.footprintWords)
+                return a.footprintWords < b.footprintWords;
+            return a.cycles < b.cycles;
+        });
+}
+
+} // namespace scalesim::multicore

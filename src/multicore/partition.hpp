@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Spatio-temporal multi-core workload partitioning (paper §III-A).
+ * With Pr x Pc cores and the Table-II mapping (Sr, Sc, T), the three
+ * schemes and their runtimes are:
+ *
+ *  Spatial (Eq. 1):          (2R+C+T-2)        * ceil(Sr/(Pr R)) * ceil(Sc/(Pc C))
+ *  Spatio-temporal 1 (Eq. 2): (2R+C+ceil(T/Pc)-2) * ceil(Sr/(Pr R)) * ceil(Sc/C)
+ *  Spatio-temporal 2 (Eq. 3): (2R+C+ceil(T/Pr)-2) * ceil(Sr/R)      * ceil(Sc/(Pc C))
+ *
+ * The memory-footprint model mirrors Fig. 3/4: each core holds its
+ * input (Sr-share x T-share) and weight (Sc-share x T-share)
+ * partitions plus its output share; the shared-L2 variant (§III-B)
+ * deduplicates the partitions that cores in the same row/column would
+ * otherwise replicate.
+ */
+
+#ifndef SCALESIM_MULTICORE_PARTITION_HH
+#define SCALESIM_MULTICORE_PARTITION_HH
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "systolic/mapping.hpp"
+
+namespace scalesim::multicore
+{
+
+/** Partitioning schemes of §III-A. */
+enum class PartitionScheme
+{
+    Spatial,         ///< Eq. 1: split Sr across Pr, Sc across Pc
+    SpatioTemporal1, ///< Eq. 2: split Sr across Pr, T across Pc
+    SpatioTemporal2, ///< Eq. 3: split Sc across Pc, T across Pr
+};
+
+std::string toString(PartitionScheme scheme);
+
+/** One (scheme, Pr, Pc) evaluation. */
+struct PartitionEval
+{
+    PartitionScheme scheme = PartitionScheme::Spatial;
+    std::uint64_t pr = 1;
+    std::uint64_t pc = 1;
+
+    /** Per-core runtime (all cores finish together when uniform). */
+    Cycle cycles = 0;
+
+    /** Sum of per-core operand partitions (no sharing), words. */
+    std::uint64_t footprintWords = 0;
+
+    /** Footprint with shared-L2 deduplication (§III-B), words. */
+    std::uint64_t l2FootprintWords = 0;
+
+    std::uint64_t cores() const { return pr * pc; }
+};
+
+/** Evaluate one scheme/grid for a GEMM on R x C cores' arrays. */
+PartitionEval evaluatePartition(const GemmDims& gemm, Dataflow df,
+                                std::uint32_t array_rows,
+                                std::uint32_t array_cols,
+                                std::uint64_t pr, std::uint64_t pc,
+                                PartitionScheme scheme);
+
+/**
+ * Evaluate every (pr, pc) factorization of `cores` under `scheme`.
+ */
+std::vector<PartitionEval>
+enumeratePartitions(const GemmDims& gemm, Dataflow df,
+                    std::uint32_t array_rows, std::uint32_t array_cols,
+                    std::uint64_t cores, PartitionScheme scheme);
+
+/** Least-cycles choice; footprint breaks ties. */
+PartitionEval bestByCycles(const std::vector<PartitionEval>& evals);
+
+/** Least-footprint choice; cycles break ties. */
+PartitionEval bestByFootprint(const std::vector<PartitionEval>& evals);
+
+} // namespace scalesim::multicore
+
+#endif // SCALESIM_MULTICORE_PARTITION_HH

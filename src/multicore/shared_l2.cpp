@@ -1,0 +1,104 @@
+#include "multicore/shared_l2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace scalesim::multicore
+{
+
+SharedL2::SharedL2(const SharedL2Config& cfg,
+                   systolic::MainMemory& backing)
+    : cfg_(cfg), backing_(backing),
+      capacityLines_(cfg.capacityWords
+                     / std::max<std::uint32_t>(1, cfg.lineWords))
+{
+    if (cfg_.lineWords == 0)
+        fatal("L2 line size must be non-zero");
+    if (capacityLines_ == 0)
+        fatal("L2 capacity below one line");
+    if (cfg_.wordsPerCycle <= 0.0)
+        fatal("L2 bandwidth must be positive");
+}
+
+void
+SharedL2::invalidate()
+{
+    lru_.clear();
+    index_.clear();
+}
+
+bool
+SharedL2::lookup(std::uint64_t line)
+{
+    auto it = index_.find(line);
+    if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return true;
+    }
+    lru_.push_front(line);
+    index_[line] = lru_.begin();
+    if (lru_.size() > capacityLines_) {
+        index_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    return false;
+}
+
+Cycle
+SharedL2::busOccupy(Count words, Cycle now)
+{
+    const double start = std::max(static_cast<double>(now), busFree_);
+    busFree_ = start + static_cast<double>(words) / cfg_.wordsPerCycle;
+    return static_cast<Cycle>(std::ceil(busFree_));
+}
+
+Cycle
+SharedL2::issueRead(Addr addr, Count words, Cycle now)
+{
+    // Walk the lines the request covers; misses go to the backing
+    // memory at line granularity (the L2 refill unit).
+    const std::uint64_t first_line = addr / cfg_.lineWords;
+    const std::uint64_t last_line = (addr + words - 1) / cfg_.lineWords;
+    Cycle data_ready = now + cfg_.hitLatency;
+    for (std::uint64_t line = first_line; line <= last_line; ++line) {
+        ++l2Stats_.lookups;
+        if (lookup(line)) {
+            ++l2Stats_.hits;
+            l2Stats_.hitWords += cfg_.lineWords;
+        } else {
+            l2Stats_.missWords += cfg_.lineWords;
+            const Cycle fill = backing_.issueRead(
+                line * cfg_.lineWords, cfg_.lineWords, now);
+            data_ready = std::max(data_ready, fill + cfg_.hitLatency);
+        }
+    }
+    const Cycle done = std::max(busOccupy(words, now),
+                                data_ready);
+    ++stats_.readRequests;
+    stats_.readWords += words;
+    stats_.totalReadLatency += done - now;
+    return done;
+}
+
+Cycle
+SharedL2::issueWrite(Addr addr, Count words, Cycle now)
+{
+    // Write-through at line granularity: the line is allocated in L2
+    // (later partial-sum reloads hit) and the data drains to backing
+    // memory in the background.
+    const std::uint64_t first_line = addr / cfg_.lineWords;
+    const std::uint64_t last_line = (addr + words - 1) / cfg_.lineWords;
+    for (std::uint64_t line = first_line; line <= last_line; ++line)
+        lookup(line);
+    l2Stats_.writeWords += words;
+    backing_.issueWrite(addr, words, now);
+    const Cycle done = busOccupy(words, now);
+    ++stats_.writeRequests;
+    stats_.writeWords += words;
+    stats_.totalWriteLatency += done - now;
+    return done;
+}
+
+} // namespace scalesim::multicore

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared L2 scratchpad (paper §III-B): a line-granular LRU cache that
+ * sits between the per-core L1 scratchpads and main memory. Cores in
+ * the same row/column of the partition grid request identical input/
+ * weight partitions; the L2 serves the duplicates from on-chip storage
+ * instead of refetching them from DRAM.
+ *
+ * Implemented as a MainMemory decorator so any core-side scratchpad
+ * can stack on top of any backing memory (bandwidth model or the
+ * detailed DRAM system).
+ */
+
+#ifndef SCALESIM_MULTICORE_SHARED_L2_HH
+#define SCALESIM_MULTICORE_SHARED_L2_HH
+
+#include <list>
+#include <unordered_map>
+
+#include "systolic/memory.hpp"
+
+namespace scalesim::multicore
+{
+
+/** Shared-L2 configuration. */
+struct SharedL2Config
+{
+    /** Total L2 capacity in words. */
+    std::uint64_t capacityWords = 4 * 1024 * 1024;
+    /** Allocation/lookup granularity in words. */
+    std::uint32_t lineWords = 256;
+    /** Hit latency in core cycles. */
+    Cycle hitLatency = 8;
+    /** L2 port bandwidth shared by all cores, words per cycle. */
+    double wordsPerCycle = 256.0;
+};
+
+/** Hit/miss statistics of the shared L2. */
+struct SharedL2Stats
+{
+    Count lookups = 0;
+    Count hits = 0;
+    std::uint64_t hitWords = 0;
+    std::uint64_t missWords = 0;
+    std::uint64_t writeWords = 0;
+
+    double
+    hitRate() const
+    {
+        return lookups ? static_cast<double>(hits) / lookups : 0.0;
+    }
+};
+
+/** The shared L2 cache as a MainMemory decorator. */
+class SharedL2 : public systolic::MainMemory
+{
+  public:
+    SharedL2(const SharedL2Config& cfg, systolic::MainMemory& backing);
+
+    Cycle issueRead(Addr addr, Count words, Cycle now) override;
+    Cycle issueWrite(Addr addr, Count words, Cycle now) override;
+
+    const SharedL2Stats& l2Stats() const { return l2Stats_; }
+    systolic::MainMemory& backing() { return backing_; }
+
+    /** Drop all cached lines (new workload). */
+    void invalidate();
+
+    /** Rewind the port cursor (see BandwidthMemory::resetTimeline). */
+    void resetTimeline() { busFree_ = 0.0; }
+
+  private:
+    /** True if the line is resident; inserts it (LRU) otherwise. */
+    bool lookup(std::uint64_t line);
+    /** Occupy the shared L2 port; returns transfer completion. */
+    Cycle busOccupy(Count words, Cycle now);
+
+    SharedL2Config cfg_;
+    systolic::MainMemory& backing_;
+    SharedL2Stats l2Stats_;
+    std::uint64_t capacityLines_;
+    std::list<std::uint64_t> lru_;
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        index_;
+    double busFree_ = 0.0;
+};
+
+} // namespace scalesim::multicore
+
+#endif // SCALESIM_MULTICORE_SHARED_L2_HH

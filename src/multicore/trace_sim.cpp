@@ -1,0 +1,143 @@
+#include "multicore/trace_sim.hpp"
+
+#include "common/log.hpp"
+
+namespace scalesim::multicore
+{
+
+MultiCoreTraceSimulator::MultiCoreTraceSimulator(
+    const MultiCoreTraceConfig& cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.pr == 0 || cfg_.pc == 0)
+        fatal("multi-core grid must be non-zero");
+    // Cores execute concurrently but are simulated one after the
+    // other; shared-resource contention is approximated by giving
+    // every core a static 1/numCores share of the L2 port and DRAM
+    // bandwidth, with the time cursors rewound between cores.
+    const double cores = static_cast<double>(cfg_.pr * cfg_.pc);
+    dram_ = std::make_unique<systolic::BandwidthMemory>(
+        cfg_.dramWordsPerCycle / cores);
+    if (cfg_.useL2) {
+        SharedL2Config l2_cfg = cfg_.l2;
+        l2_cfg.wordsPerCycle = std::max(1.0,
+                                        l2_cfg.wordsPerCycle / cores);
+        l2_ = std::make_unique<SharedL2>(l2_cfg, *dram_);
+        coreView_ = l2_.get();
+    } else {
+        coreView_ = dram_.get();
+    }
+}
+
+MultiCoreTraceSimulator::~MultiCoreTraceSimulator() = default;
+
+namespace
+{
+
+std::vector<std::uint64_t>
+shareStarts(std::uint64_t total, std::uint64_t parts)
+{
+    // Balanced split; entry i holds the start offset, entry parts the
+    // total (so share i spans [starts[i], starts[i+1])).
+    std::vector<std::uint64_t> starts(parts + 1, 0);
+    const std::uint64_t base = total / parts;
+    std::uint64_t rem = total % parts;
+    for (std::uint64_t i = 0; i < parts; ++i) {
+        starts[i + 1] = starts[i] + base + (i < rem ? 1 : 0);
+    }
+    return starts;
+}
+
+} // namespace
+
+MultiCoreTraceResult
+MultiCoreTraceSimulator::runLayer(const LayerSpec& layer)
+{
+    const GemmDims gemm = layer.toGemm();
+    const MappedDims mapped = systolic::mapGemmConventional(
+        gemm, cfg_.dataflow);
+    const auto sr_starts = shareStarts(mapped.sr, cfg_.pr);
+    const auto sc_starts = shareStarts(mapped.sc, cfg_.pc);
+
+    MemoryConfig mem;
+    const systolic::OperandMap global(gemm, mem);
+
+    const systolic::MemoryStats dram_before = dram_->stats();
+    const SharedL2Stats l2_before = l2_ ? l2_->l2Stats()
+                                        : SharedL2Stats{};
+    if (l2_)
+        l2_->invalidate();
+
+    MultiCoreTraceResult result;
+    result.perCore.reserve(cfg_.pr * cfg_.pc);
+
+    for (std::uint64_t i = 0; i < cfg_.pr; ++i) {
+        for (std::uint64_t j = 0; j < cfg_.pc; ++j) {
+            const std::uint64_t sr_off = sr_starts[i];
+            const std::uint64_t sr_share = sr_starts[i + 1] - sr_off;
+            const std::uint64_t sc_off = sc_starts[j];
+            const std::uint64_t sc_share = sc_starts[j + 1] - sc_off;
+            if (sr_share == 0 || sc_share == 0) {
+                result.perCore.emplace_back();
+                continue;
+            }
+
+            // Share dims + global-address operand view (bases offset,
+            // pitches global) so replicated partitions deduplicate.
+            GemmDims share = gemm;
+            systolic::OperandMap view = global;
+            switch (cfg_.dataflow) {
+              case Dataflow::OutputStationary:
+                share.m = sr_share;
+                share.n = sc_share;
+                view.ifmapBase += sr_off * gemm.k;
+                view.filterBase += sc_off;
+                view.ofmapBase += sr_off * gemm.n + sc_off;
+                break;
+              case Dataflow::WeightStationary:
+                share.k = sr_share;
+                share.n = sc_share;
+                view.ifmapBase += sr_off;
+                view.filterBase += sr_off * gemm.n + sc_off;
+                view.ofmapBase += sc_off;
+                break;
+              case Dataflow::InputStationary:
+                share.k = sr_share;
+                share.m = sc_share;
+                view.ifmapBase += sc_off * gemm.k + sr_off;
+                view.filterBase += sr_off * gemm.n;
+                view.ofmapBase += sc_off * gemm.n;
+                break;
+            }
+            const systolic::FoldGrid grid(share, cfg_.dataflow,
+                                          cfg_.arrayRows,
+                                          cfg_.arrayCols);
+            dram_->resetTimeline();
+            if (l2_)
+                l2_->resetTimeline();
+            systolic::DoubleBufferedScratchpad l1(cfg_.l1, *coreView_);
+            const auto timing = l1.runLayer(grid, view);
+            result.makespan = std::max(result.makespan,
+                                       timing.totalCycles);
+            result.l1ReadWords += timing.dramReadWords;
+            result.perCore.push_back(timing);
+        }
+    }
+
+    const systolic::MemoryStats& dram_after = dram_->stats();
+    result.dramReadWords = dram_after.readWords
+        - dram_before.readWords;
+    result.dramWriteWords = dram_after.writeWords
+        - dram_before.writeWords;
+    if (l2_) {
+        result.l2 = l2_->l2Stats();
+        result.l2.lookups -= l2_before.lookups;
+        result.l2.hits -= l2_before.hits;
+        result.l2.hitWords -= l2_before.hitWords;
+        result.l2.missWords -= l2_before.missWords;
+        result.l2.writeWords -= l2_before.writeWords;
+    }
+    return result;
+}
+
+} // namespace scalesim::multicore

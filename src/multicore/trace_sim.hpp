@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Trace-level multi-core timing (paper §III-B's hierarchical memory in
+ * action): each core runs its spatial partition through its own
+ * double-buffered L1 scratchpad, all stacked on one shared L2 that
+ * deduplicates the row/column-replicated operand partitions, backed by
+ * a common main memory. Complements the analytical MultiCoreSimulator:
+ * this path surfaces L2 hit rates, the DRAM traffic the L2 saves, and
+ * bandwidth-contention effects between cores.
+ */
+
+#ifndef SCALESIM_MULTICORE_TRACE_SIM_HH
+#define SCALESIM_MULTICORE_TRACE_SIM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "multicore/shared_l2.hpp"
+#include "systolic/scratchpad.hpp"
+
+namespace scalesim::multicore
+{
+
+/** Configuration of the trace-level multi-core system. */
+struct MultiCoreTraceConfig
+{
+    std::uint64_t pr = 2;
+    std::uint64_t pc = 2;
+    std::uint32_t arrayRows = 32;
+    std::uint32_t arrayCols = 32;
+    Dataflow dataflow = Dataflow::OutputStationary;
+    systolic::ScratchpadConfig l1;
+    SharedL2Config l2;
+    bool useL2 = true;
+    /** Backing main-memory bandwidth (words/cycle). */
+    double dramWordsPerCycle = 32.0;
+};
+
+/** Outcome of one layer on the multi-core system. */
+struct MultiCoreTraceResult
+{
+    /** Slowest core's wall-clock cycles. */
+    Cycle makespan = 0;
+    std::vector<systolic::LayerTiming> perCore;
+    SharedL2Stats l2;
+    /** Words the backing main memory actually served. */
+    std::uint64_t dramReadWords = 0;
+    std::uint64_t dramWriteWords = 0;
+    /** Sum of words the cores requested (pre-dedup). */
+    std::uint64_t l1ReadWords = 0;
+};
+
+/** The trace-level multi-core simulator. */
+class MultiCoreTraceSimulator
+{
+  public:
+    explicit MultiCoreTraceSimulator(const MultiCoreTraceConfig& cfg);
+    ~MultiCoreTraceSimulator();
+
+    /**
+     * Run one layer, spatially partitioned Pr x Pc over the mapped
+     * (Sr, Sc) dimensions; each core's partition keeps its global
+     * operand addresses so shared partitions deduplicate in the L2.
+     */
+    MultiCoreTraceResult runLayer(const LayerSpec& layer);
+
+  private:
+    MultiCoreTraceConfig cfg_;
+    std::unique_ptr<systolic::BandwidthMemory> dram_;
+    std::unique_ptr<SharedL2> l2_;
+    systolic::MainMemory* coreView_; // L2 if enabled, else DRAM
+};
+
+} // namespace scalesim::multicore
+
+#endif // SCALESIM_MULTICORE_TRACE_SIM_HH

@@ -1,0 +1,61 @@
+#include "sparse/formats.hpp"
+
+#include "common/log.hpp"
+
+namespace scalesim::sparse
+{
+
+std::uint32_t
+indexBits(std::uint64_t x)
+{
+    std::uint32_t bits = 1;
+    while ((1ull << bits) < x)
+        ++bits;
+    return bits;
+}
+
+StorageReport
+storageFor(SparseRep rep, const SparsityPattern& pattern,
+           std::uint64_t n_cols, std::uint32_t word_bits)
+{
+    if (n_cols == 0)
+        fatal("storageFor: filter needs at least one column");
+    StorageReport report;
+    report.rep = rep;
+    report.originalBits = pattern.denseK() * n_cols * word_bits;
+
+    const std::uint64_t nnz = pattern.nnzElements(n_cols);
+    switch (rep) {
+      case SparseRep::Dense:
+        report.valueBits = report.originalBits;
+        report.metadataBits = 0;
+        break;
+      case SparseRep::EllpackBlock: {
+        // Fig. 6: per-nonzero value plus a log2(BlockSize)-bit
+        // intra-block index.
+        const std::uint32_t meta = pattern.blockSize() > 1
+            ? indexBits(pattern.blockSize()) : 1;
+        report.valueBits = nnz * word_bits;
+        report.metadataBits = nnz * meta;
+        break;
+      }
+      case SparseRep::Csr: {
+        const std::uint32_t col_bits = indexBits(n_cols);
+        const std::uint32_t ptr_bits = indexBits(nnz + 1);
+        report.valueBits = nnz * word_bits;
+        report.metadataBits = nnz * col_bits
+            + (pattern.denseK() + 1) * ptr_bits;
+        break;
+      }
+      case SparseRep::Csc: {
+        const std::uint32_t row_bits = indexBits(pattern.denseK());
+        const std::uint32_t ptr_bits = indexBits(nnz + 1);
+        report.valueBits = nnz * word_bits;
+        report.metadataBits = nnz * row_bits + (n_cols + 1) * ptr_bits;
+        break;
+      }
+    }
+    return report;
+}
+
+} // namespace scalesim::sparse

@@ -1,0 +1,82 @@
+#include "sparse/model.hpp"
+
+#include "common/log.hpp"
+
+namespace scalesim::sparse
+{
+
+namespace
+{
+
+SparsityPattern
+resolvePattern(const LayerSpec& layer, const SparsityConfig& cfg,
+               const GemmDims& gemm, std::uint64_t layer_index,
+               bool& active, std::uint32_t& n_out, std::uint32_t& m_out)
+{
+    active = false;
+    n_out = 0;
+    m_out = 0;
+    if (cfg.optimizedMapping) {
+        // Row-wise N:M with randomized N <= M/2 per block.
+        Rng rng(cfg.seed ^ (layer_index * 0x9e3779b97f4a7c15ull));
+        auto pattern = SparsityPattern::rowWise(gemm.k, cfg.blockSize,
+                                                rng);
+        active = pattern.compressedK() < gemm.k;
+        m_out = cfg.blockSize;
+        return pattern;
+    }
+    if (cfg.enabled && layer.sparseM != 0 && layer.sparseN != 0) {
+        auto pattern = SparsityPattern::layerWise(gemm.k, layer.sparseN,
+                                                  layer.sparseM);
+        active = pattern.compressedK() < gemm.k;
+        n_out = layer.sparseN;
+        m_out = layer.sparseM;
+        return pattern;
+    }
+    return SparsityPattern::dense(gemm.k);
+}
+
+} // namespace
+
+SparseLayerModel::SparseLayerModel(const LayerSpec& layer,
+                                   const SparsityConfig& cfg,
+                                   std::uint64_t layer_index)
+    : layer_(layer), cfg_(cfg), denseGemm_(layer.toGemm()),
+      pattern_(resolvePattern(layer, cfg, denseGemm_, layer_index,
+                              active_, appliedN_, appliedM_))
+{
+}
+
+GemmDims
+SparseLayerModel::effectiveGemm() const
+{
+    GemmDims eff = denseGemm_;
+    eff.k = pattern_.compressedK();
+    return eff;
+}
+
+StorageReport
+SparseLayerModel::storage(std::uint32_t word_bits) const
+{
+    const SparseRep rep = active_ ? cfg_.rep : SparseRep::Dense;
+    return storageFor(rep, pattern_, denseGemm_.n, word_bits);
+}
+
+SparseLayerReport
+SparseLayerModel::report(std::uint32_t word_bits) const
+{
+    SparseLayerReport rep;
+    rep.layerName = layer_.name;
+    rep.representation = toString(active_ ? cfg_.rep : SparseRep::Dense);
+    rep.ratioN = appliedN_;
+    rep.ratioM = appliedM_;
+    rep.denseK = denseGemm_.k;
+    rep.compressedK = pattern_.compressedK();
+    const StorageReport storage_report = storage(word_bits);
+    rep.originalFilterBits = storage_report.originalBits;
+    rep.newFilterBits = storage_report.totalBits();
+    rep.metadataBits = storage_report.metadataBits;
+    return rep;
+}
+
+} // namespace scalesim::sparse

@@ -1,0 +1,96 @@
+#include "sparse/pattern.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace scalesim::sparse
+{
+
+SparsityPattern::SparsityPattern(std::uint64_t dense_k, std::uint32_t m)
+    : denseK_(dense_k), m_(m)
+{
+    if (dense_k == 0)
+        fatal("sparsity pattern needs a non-zero K");
+}
+
+void
+SparsityPattern::finalize()
+{
+    origIndex_.clear();
+    if (m_ == 0) {
+        origIndex_.resize(denseK_);
+        for (std::uint64_t k = 0; k < denseK_; ++k)
+            origIndex_[k] = k;
+        return;
+    }
+    for (std::size_t b = 0; b < nnzPerBlock_.size(); ++b) {
+        const std::uint64_t base = static_cast<std::uint64_t>(b) * m_;
+        const std::uint64_t block_rows = std::min<std::uint64_t>(
+            m_, denseK_ - base);
+        const std::uint64_t kept = std::min<std::uint64_t>(
+            nnzPerBlock_[b], block_rows);
+        // Paper §IV-B: the first N rows of a block are the nonzero
+        // ones.
+        for (std::uint64_t j = 0; j < kept; ++j)
+            origIndex_.push_back(base + j);
+    }
+    if (origIndex_.empty())
+        fatal("sparsity pattern compressed K to zero");
+}
+
+SparsityPattern
+SparsityPattern::layerWise(std::uint64_t dense_k, std::uint32_t n,
+                           std::uint32_t m)
+{
+    if (m == 0 || n == 0 || n > m)
+        fatal("invalid N:M ratio %u:%u", n, m);
+    SparsityPattern pattern(dense_k, m);
+    const std::uint64_t blocks = ceilDiv(dense_k, m);
+    pattern.nnzPerBlock_.assign(blocks, n);
+    pattern.finalize();
+    return pattern;
+}
+
+SparsityPattern
+SparsityPattern::rowWise(std::uint64_t dense_k, std::uint32_t m,
+                         Rng& rng)
+{
+    if (m < 2)
+        fatal("row-wise sparsity needs block size >= 2 (got %u)", m);
+    SparsityPattern pattern(dense_k, m);
+    const std::uint64_t blocks = ceilDiv(dense_k, m);
+    pattern.nnzPerBlock_.resize(blocks);
+    const std::uint32_t max_n = std::max<std::uint32_t>(1, m / 2);
+    for (auto& nnz : pattern.nnzPerBlock_)
+        nnz = static_cast<std::uint32_t>(rng.range(1, max_n));
+    pattern.finalize();
+    return pattern;
+}
+
+SparsityPattern
+SparsityPattern::dense(std::uint64_t dense_k)
+{
+    SparsityPattern pattern(dense_k, 0);
+    pattern.finalize();
+    return pattern;
+}
+
+std::uint64_t
+SparsityPattern::origK(std::uint64_t comp_k) const
+{
+    if (comp_k >= origIndex_.size())
+        panic("origK(%llu) out of range (compressed K = %zu)",
+              static_cast<unsigned long long>(comp_k),
+              origIndex_.size());
+    return origIndex_[comp_k];
+}
+
+double
+SparsityPattern::density() const
+{
+    return static_cast<double>(compressedK())
+        / static_cast<double>(denseK_);
+}
+
+} // namespace scalesim::sparse

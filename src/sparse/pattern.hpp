@@ -1,0 +1,79 @@
+/**
+ * @file
+ * N:M sparsity patterns along the GEMM reduction (K) dimension, per the
+ * paper's §IV: layer-wise sparsity keeps the first N of every M rows
+ * (fixed ratio for the whole layer); row-wise sparsity assigns each
+ * M-row block a randomized N <= M/2. The pattern doubles as the
+ * KGatherMap the demand engine uses for gathered ifmap streaming.
+ */
+
+#ifndef SCALESIM_SPARSE_PATTERN_HH
+#define SCALESIM_SPARSE_PATTERN_HH
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "systolic/demand.hpp"
+
+namespace scalesim::sparse
+{
+
+/** Block-granular N:M sparsity along K. */
+class SparsityPattern : public systolic::KGatherMap
+{
+  public:
+    /**
+     * Layer-wise: every M-row block keeps its first `n` rows.
+     * n == 0 or n == m yields a dense pattern.
+     */
+    static SparsityPattern layerWise(std::uint64_t dense_k,
+                                     std::uint32_t n, std::uint32_t m);
+
+    /**
+     * Row-wise (OptimizedMapping): each block keeps a uniformly random
+     * N in [1, m/2] rows (the paper constrains N <= M/2).
+     */
+    static SparsityPattern rowWise(std::uint64_t dense_k,
+                                   std::uint32_t m, Rng& rng);
+
+    /** Dense (identity) pattern. */
+    static SparsityPattern dense(std::uint64_t dense_k);
+
+    std::uint64_t denseK() const { return denseK_; }
+    std::uint64_t compressedK() const override
+    {
+        return origIndex_.size();
+    }
+    std::uint64_t origK(std::uint64_t comp_k) const override;
+
+    /** Block size M (0 for dense patterns). */
+    std::uint32_t blockSize() const { return m_; }
+
+    /** Kept rows per M-block, in K order. */
+    const std::vector<std::uint32_t>& blockNnz() const
+    {
+        return nnzPerBlock_;
+    }
+
+    /** compressedK / denseK. */
+    double density() const;
+
+    /** Total nonzero elements for an N-column filter. */
+    std::uint64_t nnzElements(std::uint64_t n_cols) const
+    {
+        return compressedK() * n_cols;
+    }
+
+  private:
+    SparsityPattern(std::uint64_t dense_k, std::uint32_t m);
+    void finalize();
+
+    std::uint64_t denseK_;
+    std::uint32_t m_;
+    std::vector<std::uint32_t> nnzPerBlock_;
+    std::vector<std::uint64_t> origIndex_;
+};
+
+} // namespace scalesim::sparse
+
+#endif // SCALESIM_SPARSE_PATTERN_HH

@@ -1,0 +1,261 @@
+#include "systolic/demand.hpp"
+
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace scalesim::systolic
+{
+
+namespace
+{
+
+GemmDims
+effectiveGemm(const GemmDims& dense, const KGatherMap* gather)
+{
+    GemmDims eff = dense;
+    if (gather) {
+        eff.k = gather->compressedK();
+        if (eff.k == 0 || eff.k > dense.k)
+            fatal("sparse gather map has invalid compressed K %llu",
+                  static_cast<unsigned long long>(eff.k));
+    }
+    return eff;
+}
+
+} // namespace
+
+DemandGenerator::DemandGenerator(const GemmDims& gemm, Dataflow df,
+                                 std::uint32_t array_rows,
+                                 std::uint32_t array_cols,
+                                 const OperandMap& operands,
+                                 const KGatherMap* gather)
+    : denseGemm_(gemm), effectiveGemm_(effectiveGemm(gemm, gather)),
+      grid_(effectiveGemm_, df, array_rows, array_cols),
+      operands_(operands), gather_(gather)
+{
+    if (gather_ && df != Dataflow::WeightStationary) {
+        fatal("sparse trace simulation supports weight-stationary only "
+              "(as in the paper's evaluations)");
+    }
+    // Operand addressing always uses the dense dimensions so gathered
+    // ifmap reads land on real dense addresses.
+    operands_.dims = denseGemm_;
+}
+
+void
+DemandGenerator::run(DemandVisitor& visitor) const
+{
+    visitor.beginLayer(grid_, operands_);
+    Cycle fold_start = 0;
+    const Cycle fold_len = grid_.foldCycles();
+    for (std::uint64_t rf = 0; rf < grid_.rowFolds(); ++rf) {
+        for (std::uint64_t cf = 0; cf < grid_.colFolds(); ++cf) {
+            visitor.beginFold(rf, cf, fold_start);
+            switch (grid_.dataflow()) {
+              case Dataflow::OutputStationary:
+                runFoldOs(visitor, rf, cf, fold_start);
+                break;
+              case Dataflow::WeightStationary:
+                runFoldWs(visitor, rf, cf, fold_start);
+                break;
+              case Dataflow::InputStationary:
+                runFoldIs(visitor, rf, cf, fold_start);
+                break;
+            }
+            fold_start += fold_len;
+            visitor.endFold(rf, cf, fold_start);
+        }
+    }
+    visitor.endLayer(fold_start);
+}
+
+void
+DemandGenerator::runFoldOs(DemandVisitor& visitor, std::uint64_t rf,
+                           std::uint64_t cf, Cycle fold_start) const
+{
+    const std::uint64_t tr = grid_.tileRows(rf);
+    const std::uint64_t tc = grid_.tileCols(cf);
+    const std::uint64_t rbase = rf * grid_.arrayRows();
+    const std::uint64_t cbase = cf * grid_.arrayCols();
+    const std::uint64_t t_extent = grid_.mapped().t; // == K
+    const std::uint32_t rows = grid_.arrayRows();
+    const Cycle fold_len = grid_.foldCycles();
+
+    std::vector<Addr> ifmap, filter, writes;
+    ifmap.reserve(tr);
+    filter.reserve(tc);
+    writes.reserve(std::min(tr, tc));
+
+    for (Cycle clk = 0; clk < fold_len; ++clk) {
+        ifmap.clear();
+        filter.clear();
+        writes.clear();
+        // Skewed A stream: row r consumes A[rbase+r][clk - r].
+        for (std::uint64_t r = 0; r < tr && r <= clk; ++r) {
+            const std::uint64_t t = clk - r;
+            if (t < t_extent)
+                ifmap.push_back(operands_.ifmapAddr(rbase + r, t));
+        }
+        // Skewed B stream: column c consumes B[clk - c][cbase+c].
+        for (std::uint64_t c = 0; c < tc && c <= clk; ++c) {
+            const std::uint64_t t = clk - c;
+            if (t < t_extent)
+                filter.push_back(operands_.filterAddr(t, cbase + c));
+        }
+        // Diagonal drain after fill + stream: diagonal d = r + c leaves
+        // at cycle (R + T - 1) + d.
+        if (clk + 1 >= rows + t_extent) {
+            const std::uint64_t d = clk - (rows + t_extent - 1);
+            if (d <= tr + tc - 2) {
+                const std::uint64_t r_lo = d >= tc ? d - (tc - 1) : 0;
+                const std::uint64_t r_hi = std::min<std::uint64_t>(
+                    tr - 1, d);
+                for (std::uint64_t r = r_lo; r <= r_hi; ++r) {
+                    writes.push_back(operands_.ofmapAddr(
+                        rbase + r, cbase + (d - r)));
+                }
+            }
+        }
+        visitor.cycle(fold_start + clk, ifmap, filter, {}, writes);
+    }
+}
+
+void
+DemandGenerator::runFoldWs(DemandVisitor& visitor, std::uint64_t rf,
+                           std::uint64_t cf, Cycle fold_start) const
+{
+    const std::uint64_t tr = grid_.tileRows(rf); // K-range (compressed)
+    const std::uint64_t tc = grid_.tileCols(cf); // N-range
+    const std::uint64_t kbase = rf * grid_.arrayRows();
+    const std::uint64_t cbase = cf * grid_.arrayCols();
+    const std::uint64_t t_extent = grid_.mapped().t; // == M
+    const std::uint32_t rows = grid_.arrayRows();
+    const Cycle fold_len = grid_.foldCycles();
+    const bool accumulate = rf > 0;
+
+    std::vector<Addr> ifmap, filter, oreads, writes;
+    ifmap.reserve(tr);
+    filter.reserve(tc);
+    writes.reserve(tc);
+    oreads.reserve(tc);
+
+    for (Cycle clk = 0; clk < fold_len; ++clk) {
+        ifmap.clear();
+        filter.clear();
+        oreads.clear();
+        writes.clear();
+        if (clk < rows) {
+            // Weight preload, bottom row first so the tile settles as
+            // values shift down the array.
+            if (clk < tr) {
+                const std::uint64_t k = kbase + (tr - 1 - clk);
+                for (std::uint64_t c = 0; c < tc; ++c)
+                    filter.push_back(operands_.filterAddr(k, cbase + c));
+            }
+        }
+        // Skewed ifmap stream: row r consumes A[t][k(r)] at
+        // clk = R + t + r; sparse runs gather the original K row.
+        if (clk >= rows) {
+            const Cycle s = clk - rows;
+            for (std::uint64_t r = 0; r < tr && r <= s; ++r) {
+                const std::uint64_t t = s - r;
+                if (t < t_extent) {
+                    const std::uint64_t k = gather_
+                        ? gather_->origK(kbase + r) : kbase + r;
+                    ifmap.push_back(operands_.ifmapAddr(t, k));
+                }
+            }
+        }
+        // Output drain: O[t][cbase+c] leaves column c at
+        // clk = 2R - 1 + t + c.
+        if (clk + 1 >= 2ull * rows) {
+            const Cycle s = clk - (2ull * rows - 1);
+            for (std::uint64_t c = 0; c < tc && c <= s; ++c) {
+                const std::uint64_t t = s - c;
+                if (t < t_extent) {
+                    const Addr addr = operands_.ofmapAddr(t, cbase + c);
+                    writes.push_back(addr);
+                    if (accumulate)
+                        oreads.push_back(addr);
+                }
+            }
+        }
+        visitor.cycle(fold_start + clk, ifmap, filter, oreads, writes);
+    }
+}
+
+void
+DemandGenerator::runFoldIs(DemandVisitor& visitor, std::uint64_t rf,
+                           std::uint64_t cf, Cycle fold_start) const
+{
+    const std::uint64_t tr = grid_.tileRows(rf); // K-range
+    const std::uint64_t tc = grid_.tileCols(cf); // M-range
+    const std::uint64_t kbase = rf * grid_.arrayRows();
+    const std::uint64_t mbase = cf * grid_.arrayCols();
+    const std::uint64_t t_extent = grid_.mapped().t; // == N
+    const std::uint32_t rows = grid_.arrayRows();
+    const Cycle fold_len = grid_.foldCycles();
+    const bool accumulate = rf > 0;
+
+    std::vector<Addr> ifmap, filter, oreads, writes;
+    ifmap.reserve(tc);
+    filter.reserve(tr);
+    writes.reserve(tc);
+    oreads.reserve(tc);
+
+    for (Cycle clk = 0; clk < fold_len; ++clk) {
+        ifmap.clear();
+        filter.clear();
+        oreads.clear();
+        writes.clear();
+        if (clk < rows && clk < tr) {
+            // Ifmap preload: stationary tile element (k, m) = A[m][k].
+            const std::uint64_t k = kbase + (tr - 1 - clk);
+            for (std::uint64_t c = 0; c < tc; ++c)
+                ifmap.push_back(operands_.ifmapAddr(mbase + c, k));
+        }
+        if (clk >= rows) {
+            // Skewed filter stream: row r consumes B[k(r)][t].
+            const Cycle s = clk - rows;
+            for (std::uint64_t r = 0; r < tr && r <= s; ++r) {
+                const std::uint64_t t = s - r;
+                if (t < t_extent)
+                    filter.push_back(operands_.filterAddr(kbase + r, t));
+            }
+        }
+        if (clk + 1 >= 2ull * rows) {
+            // Output drain: O[mbase+c][t] at clk = 2R - 1 + t + c.
+            const Cycle s = clk - (2ull * rows - 1);
+            for (std::uint64_t c = 0; c < tc && c <= s; ++c) {
+                const std::uint64_t t = s - c;
+                if (t < t_extent) {
+                    const Addr addr = operands_.ofmapAddr(mbase + c, t);
+                    writes.push_back(addr);
+                    if (accumulate)
+                        oreads.push_back(addr);
+                }
+            }
+        }
+        visitor.cycle(fold_start + clk, ifmap, filter, oreads, writes);
+    }
+}
+
+void
+CountingVisitor::cycle(Cycle clk, std::span<const Addr> ifmap_reads,
+                       std::span<const Addr> filter_reads,
+                       std::span<const Addr> ofmap_reads,
+                       std::span<const Addr> ofmap_writes)
+{
+    ifmapReads += ifmap_reads.size();
+    filterReads += filter_reads.size();
+    ofmapReads += ofmap_reads.size();
+    ofmapWrites += ofmap_writes.size();
+    lastCycle = clk;
+    if (!ifmap_reads.empty() || !filter_reads.empty()
+        || !ofmap_reads.empty() || !ofmap_writes.empty()) {
+        ++activeCycles;
+    }
+}
+
+} // namespace scalesim::systolic

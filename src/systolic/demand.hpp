@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Cycle-accurate demand generation. The generator walks a layer fold by
+ * fold and emits, for every cycle, the SRAM addresses requested at the
+ * array edge (ifmap/filter reads, ofmap reads/writes). Consumers
+ * implement DemandVisitor; nothing is materialized, so memory stays
+ * bounded by one cycle's worth of addresses (<= R + 2C entries).
+ *
+ * This is the v3 equivalent of SCALE-Sim's demand-matrix generation,
+ * reorganized as a streaming producer so that the layout model, the
+ * energy action counter, and trace writers can all tap the same pass.
+ */
+
+#ifndef SCALESIM_SYSTOLIC_DEMAND_HH
+#define SCALESIM_SYSTOLIC_DEMAND_HH
+
+#include <span>
+#include <vector>
+
+#include "systolic/mapping.hpp"
+
+namespace scalesim::systolic
+{
+
+/**
+ * Maps compressed (post-sparsity) K indices back to original K indices
+ * for gathered streaming reads. Implemented by the sparse module; dense
+ * runs pass nullptr.
+ */
+class KGatherMap
+{
+  public:
+    virtual ~KGatherMap() = default;
+    /** Number of compressed K rows (<= dense K). */
+    virtual std::uint64_t compressedK() const = 0;
+    /** Original K index backing compressed row `comp_k`. */
+    virtual std::uint64_t origK(std::uint64_t comp_k) const = 0;
+};
+
+/** Per-cycle demand observer. Spans are only valid during the call. */
+class DemandVisitor
+{
+  public:
+    virtual ~DemandVisitor() = default;
+
+    virtual void beginLayer(const FoldGrid&, const OperandMap&) {}
+    virtual void beginFold(std::uint64_t /*rf*/, std::uint64_t /*cf*/,
+                           Cycle /*fold_start*/) {}
+
+    /**
+     * One array cycle. `clk` is absolute within the layer. The spans
+     * hold the valid addresses requested this cycle (no sentinels).
+     */
+    virtual void cycle(Cycle clk, std::span<const Addr> ifmap_reads,
+                       std::span<const Addr> filter_reads,
+                       std::span<const Addr> ofmap_reads,
+                       std::span<const Addr> ofmap_writes) = 0;
+
+    virtual void endFold(std::uint64_t /*rf*/, std::uint64_t /*cf*/,
+                         Cycle /*fold_end*/) {}
+    virtual void endLayer(Cycle /*total_cycles*/) {}
+};
+
+/**
+ * Streaming demand generator for one layer under one dataflow.
+ *
+ * With a KGatherMap (weight-stationary only, as in the paper's sparse
+ * evaluations), the stationary filter tile addresses index the
+ * compressed filter storage while ifmap streaming reads gather the
+ * original K rows.
+ */
+class DemandGenerator
+{
+  public:
+    DemandGenerator(const GemmDims& gemm, Dataflow df,
+                    std::uint32_t array_rows, std::uint32_t array_cols,
+                    const OperandMap& operands,
+                    const KGatherMap* gather = nullptr);
+
+    /** Fold grid after sparsity compression (if any). */
+    const FoldGrid& grid() const { return grid_; }
+
+    /** Total cycles the generated schedule spans. */
+    Cycle totalCycles() const { return grid_.totalCycles(); }
+
+    /** Run the full layer through the visitor. */
+    void run(DemandVisitor& visitor) const;
+
+  private:
+    void runFoldOs(DemandVisitor& visitor, std::uint64_t rf,
+                   std::uint64_t cf, Cycle fold_start) const;
+    void runFoldWs(DemandVisitor& visitor, std::uint64_t rf,
+                   std::uint64_t cf, Cycle fold_start) const;
+    void runFoldIs(DemandVisitor& visitor, std::uint64_t rf,
+                   std::uint64_t cf, Cycle fold_start) const;
+
+    GemmDims denseGemm_;
+    GemmDims effectiveGemm_;
+    FoldGrid grid_;
+    OperandMap operands_;
+    const KGatherMap* gather_;
+};
+
+/** Fans one demand stream out to several visitors. */
+class TeeVisitor : public DemandVisitor
+{
+  public:
+    explicit TeeVisitor(std::vector<DemandVisitor*> sinks)
+        : sinks_(std::move(sinks))
+    {}
+
+    void
+    beginLayer(const FoldGrid& grid, const OperandMap& operands) override
+    {
+        for (auto* sink : sinks_)
+            sink->beginLayer(grid, operands);
+    }
+    void
+    beginFold(std::uint64_t rf, std::uint64_t cf, Cycle start) override
+    {
+        for (auto* sink : sinks_)
+            sink->beginFold(rf, cf, start);
+    }
+    void
+    cycle(Cycle clk, std::span<const Addr> ifmap_reads,
+          std::span<const Addr> filter_reads,
+          std::span<const Addr> ofmap_reads,
+          std::span<const Addr> ofmap_writes) override
+    {
+        for (auto* sink : sinks_)
+            sink->cycle(clk, ifmap_reads, filter_reads, ofmap_reads,
+                        ofmap_writes);
+    }
+    void
+    endFold(std::uint64_t rf, std::uint64_t cf, Cycle end) override
+    {
+        for (auto* sink : sinks_)
+            sink->endFold(rf, cf, end);
+    }
+    void
+    endLayer(Cycle total) override
+    {
+        for (auto* sink : sinks_)
+            sink->endLayer(total);
+    }
+
+  private:
+    std::vector<DemandVisitor*> sinks_;
+};
+
+/** Demand visitor that counts accesses (handy for tests). */
+class CountingVisitor : public DemandVisitor
+{
+  public:
+    void cycle(Cycle clk, std::span<const Addr> ifmap_reads,
+               std::span<const Addr> filter_reads,
+               std::span<const Addr> ofmap_reads,
+               std::span<const Addr> ofmap_writes) override;
+
+    Count ifmapReads = 0;
+    Count filterReads = 0;
+    Count ofmapReads = 0;
+    Count ofmapWrites = 0;
+    Cycle lastCycle = 0;
+    Count activeCycles = 0;
+};
+
+} // namespace scalesim::systolic
+
+#endif // SCALESIM_SYSTOLIC_DEMAND_HH

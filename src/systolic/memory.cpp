@@ -1,0 +1,78 @@
+#include "systolic/memory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace scalesim::systolic
+{
+
+BandwidthMemory::BandwidthMemory(double words_per_cycle,
+                                 Cycle base_latency)
+    : wordsPerCycle_(words_per_cycle), baseLatency_(base_latency)
+{
+    if (words_per_cycle <= 0.0)
+        fatal("bandwidth must be positive (got %f)", words_per_cycle);
+}
+
+Cycle
+BandwidthMemory::busOccupy(Count words, Cycle now)
+{
+    const double start = std::max(static_cast<double>(now), busFree_);
+    busFree_ = start + static_cast<double>(words) / wordsPerCycle_;
+    return static_cast<Cycle>(std::ceil(busFree_));
+}
+
+Cycle
+BandwidthMemory::issueRead(Addr /*addr*/, Count words, Cycle now)
+{
+    const Cycle done = busOccupy(words, now) + baseLatency_;
+    ++stats_.readRequests;
+    stats_.readWords += words;
+    stats_.totalReadLatency += done - now;
+    return done;
+}
+
+Cycle
+BandwidthMemory::issueWrite(Addr /*addr*/, Count words, Cycle now)
+{
+    const Cycle done = busOccupy(words, now) + baseLatency_;
+    ++stats_.writeRequests;
+    stats_.writeWords += words;
+    stats_.totalWriteLatency += done - now;
+    return done;
+}
+
+RequestQueue::RequestQueue(std::uint32_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity_ == 0)
+        fatal("request queue capacity must be non-zero");
+}
+
+void
+RequestQueue::drain(Cycle now)
+{
+    while (!inflight_.empty() && inflight_.top() <= now)
+        inflight_.pop();
+}
+
+Cycle
+RequestQueue::slotAvailable(Cycle now)
+{
+    drain(now);
+    if (inflight_.size() < capacity_)
+        return now;
+    const Cycle retire = inflight_.top();
+    fullStalls_ += retire - now;
+    return retire;
+}
+
+void
+RequestQueue::push(Cycle completion)
+{
+    inflight_.push(completion);
+}
+
+} // namespace scalesim::systolic

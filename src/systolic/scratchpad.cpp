@@ -1,0 +1,438 @@
+#include "systolic/scratchpad.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace scalesim::systolic
+{
+
+TileCache::TileCache(std::uint64_t capacity_words)
+    : capacity_(capacity_words)
+{
+}
+
+std::uint64_t
+TileCache::access(std::uint64_t key, std::uint64_t words)
+{
+    auto hit = index_.find(key);
+    if (hit != index_.end()) {
+        // Move to MRU position.
+        lru_.splice(lru_.begin(), lru_, hit->second);
+        return 0;
+    }
+    if (words > capacity_) {
+        // Streaming tile: cannot be kept resident, fetched every use.
+        return words;
+    }
+    while (used_ + words > capacity_ && !lru_.empty()) {
+        auto& victim = lru_.back();
+        used_ -= victim.second;
+        index_.erase(victim.first);
+        lru_.pop_back();
+    }
+    lru_.emplace_front(key, words);
+    index_[key] = lru_.begin();
+    used_ += words;
+    return words;
+}
+
+void
+TileCache::clear()
+{
+    lru_.clear();
+    index_.clear();
+    used_ = 0;
+}
+
+DoubleBufferedScratchpad::DoubleBufferedScratchpad(
+    const ScratchpadConfig& cfg, MainMemory& memory)
+    : cfg_(cfg), memory_(memory),
+      // One shadow buffer per prefetch-depth step; the rest of each
+      // SRAM holds resident data.
+      ifmapCache_(cfg.ifmapWords
+                  / (1 + std::max<std::uint32_t>(1, cfg.prefetchDepth))),
+      filterCache_(cfg.filterWords
+                   / (1 + std::max<std::uint32_t>(1,
+                                                  cfg.prefetchDepth)))
+{
+    if (cfg_.burstWords == 0)
+        fatal("burstWords must be non-zero");
+    if (cfg_.issuePerCycle == 0)
+        fatal("issuePerCycle must be non-zero");
+    if (cfg_.prefetchDepth == 0)
+        fatal("prefetchDepth must be non-zero");
+}
+
+void
+DoubleBufferedScratchpad::reset()
+{
+    ifmapCache_.clear();
+    filterCache_.clear();
+}
+
+namespace
+{
+
+/** Per-fold fetch/writeback description. */
+struct FoldPlan
+{
+    std::vector<DoubleBufferedScratchpad::TileSpan> reads;
+    DoubleBufferedScratchpad::TileSpan writeback;
+    bool hasWriteback = false;
+};
+
+/** DRAM transactions a span splits into. */
+std::uint64_t
+spanRequests(const DoubleBufferedScratchpad::TileSpan& span,
+             std::uint32_t burst_words)
+{
+    return span.segments * ceilDiv(span.segWords, burst_words);
+}
+
+/**
+ * Ifmap rows a convolution fold touches: output pixels [m_lo, m_hi]
+ * under reduction range [k_lo, k_hi] (indices in the fold grid's —
+ * possibly sparsity-compressed — K domain, rescaled to the dense K
+ * the tensor is addressed with). Returns the inclusive [h_lo, h_hi]
+ * feature-map row range.
+ */
+std::pair<std::uint64_t, std::uint64_t>
+convIfmapRows(const OperandMap& op, std::uint64_t m_lo,
+              std::uint64_t m_hi, std::uint64_t k_lo,
+              std::uint64_t k_hi, std::uint64_t effective_k)
+{
+    std::uint64_t k_lo_dense = k_lo;
+    std::uint64_t k_hi_dense = k_hi;
+    if (effective_k != op.dims.k && effective_k > 0) {
+        // Sparse run: compressed K rows scatter across the dense
+        // range; scale the bounds conservatively.
+        k_lo_dense = k_lo * op.dims.k / effective_k;
+        k_hi_dense = std::min(op.dims.k - 1,
+                              (k_hi + 1) * op.dims.k / effective_k);
+    }
+    return op.ifmapRowRange(m_lo, m_hi, k_lo_dense, k_hi_dense);
+}
+
+} // namespace
+
+void
+DoubleBufferedScratchpad::planConvIfmap(
+    const OperandMap& operands, std::uint64_t m_lo, std::uint64_t m_hi,
+    std::uint64_t k_lo, std::uint64_t k_hi, std::uint64_t effective_k,
+    std::vector<TileSpan>& reads)
+{
+    // Row-slice-granular residency: overlapping windows and adjacent
+    // folds share ifmap rows, which must not be refetched. A fold
+    // covering only part of the reduction (a (kw, c) slice of each
+    // window row) fetches the corresponding fraction of each row;
+    // slices are distinguished by an aligned bucket in the cache key.
+    const auto [h_lo, h_hi] = convIfmapRows(operands, m_lo, m_hi, k_lo,
+                                            k_hi, effective_k);
+    const std::uint64_t row_width = operands.ifmapRowWidth();
+    const std::uint64_t kfc = std::max<std::uint64_t>(
+        1, operands.filterW * operands.channels);
+    std::uint64_t k_span = k_hi - k_lo + 1;
+    if (effective_k != operands.dims.k && effective_k > 0)
+        k_span = k_span * operands.dims.k / effective_k;
+    std::uint64_t slice_words = row_width;
+    std::uint64_t bucket = 0;
+    if (k_span < kfc) {
+        slice_words = std::max<std::uint64_t>(
+            1, row_width * k_span / kfc);
+        bucket = 1 + (k_lo % kfc) / std::max<std::uint64_t>(1, k_span);
+    }
+    std::uint64_t run_start = ~static_cast<std::uint64_t>(0);
+    auto flush = [&](std::uint64_t end_h) {
+        if (run_start == ~static_cast<std::uint64_t>(0))
+            return;
+        reads.push_back({operands.ifmapBase + run_start * row_width, 1,
+                         (end_h - run_start) * slice_words, 0});
+        run_start = ~static_cast<std::uint64_t>(0);
+    };
+    for (std::uint64_t h = h_lo; h <= h_hi; ++h) {
+        const std::uint64_t key = h * 65536 + bucket;
+        const bool miss = ifmapCache_.access(key, slice_words) > 0;
+        if (miss && run_start == ~static_cast<std::uint64_t>(0))
+            run_start = h;
+        if (!miss)
+            flush(h);
+    }
+    flush(h_hi + 1);
+}
+
+Cycle
+DoubleBufferedScratchpad::issueReads(const TileSpan& span,
+                                     Cycle issue_base,
+                                     LayerTiming& timing)
+{
+    RequestQueue& queue = *readQueue_;
+    Cycle ready = issue_base;
+    double next_issue = static_cast<double>(issue_base);
+    const double pace = 1.0 / cfg_.issuePerCycle;
+    for (std::uint64_t seg = 0; seg < span.segments; ++seg) {
+        const Addr seg_base = span.base + seg * span.stride;
+        std::uint64_t remaining = span.segWords;
+        Addr addr = seg_base;
+        while (remaining > 0) {
+            const Count words = std::min<std::uint64_t>(
+                remaining, cfg_.burstWords);
+            const Cycle want = static_cast<Cycle>(
+                std::ceil(next_issue));
+            const Cycle slot = queue.slotAvailable(want);
+            const Cycle at = std::max(slot, want);
+            const Cycle done = memory_.issueRead(addr, words, at);
+            queue.push(done);
+            ready = std::max(ready, done);
+            next_issue = static_cast<double>(at) + pace;
+            ++timing.dramReadRequests;
+            timing.dramReadWords += words;
+            addr += words;
+            remaining -= words;
+        }
+    }
+    return ready;
+}
+
+Cycle
+DoubleBufferedScratchpad::issueWrites(const TileSpan& span,
+                                      Cycle issue_base,
+                                      LayerTiming& timing)
+{
+    RequestQueue& queue = *writeQueue_;
+    Cycle last_issue = issue_base;
+    double next_issue = static_cast<double>(issue_base);
+    const double pace = 1.0 / cfg_.issuePerCycle;
+    for (std::uint64_t seg = 0; seg < span.segments; ++seg) {
+        const Addr seg_base = span.base + seg * span.stride;
+        std::uint64_t remaining = span.segWords;
+        Addr addr = seg_base;
+        while (remaining > 0) {
+            const Count words = std::min<std::uint64_t>(
+                remaining, cfg_.burstWords);
+            const Cycle want = static_cast<Cycle>(
+                std::ceil(next_issue));
+            const Cycle slot = queue.slotAvailable(want);
+            const Cycle at = std::max(slot, want);
+            const Cycle accepted = memory_.issueWrite(addr, words, at);
+            queue.push(accepted);
+            last_issue = std::max(last_issue, at);
+            next_issue = static_cast<double>(at) + pace;
+            ++timing.dramWriteRequests;
+            timing.dramWriteWords += words;
+            addr += words;
+            remaining -= words;
+        }
+    }
+    return last_issue;
+}
+
+LayerTiming
+DoubleBufferedScratchpad::runLayer(const FoldGrid& grid,
+                                   const OperandMap& operands,
+                                   Cycle start_cycle,
+                                   double compute_scale)
+{
+    LayerTiming timing;
+    RequestQueue read_queue(cfg_.readQueueSize);
+    RequestQueue write_queue(cfg_.writeQueueSize);
+    readQueue_ = &read_queue;
+    writeQueue_ = &write_queue;
+
+    const Cycle fold_len = static_cast<Cycle>(std::llround(
+        static_cast<double>(grid.foldCycles()) * compute_scale));
+    timing.computeCycles = fold_len * grid.numFolds();
+
+    const MemoryStats stats_before = memory_.stats();
+
+    const std::uint64_t k_dim = grid.gemm().k;
+    const std::uint64_t m_dim = grid.gemm().m;
+    const std::uint64_t n_dim = grid.gemm().n;
+    // Address-space row pitches (global operand layout; differs from
+    // the grid dims for partitioned or sparsity-compressed runs).
+    const std::uint64_t n_pitch = operands.dims.n;
+
+    Cycle compute_end = start_cycle;
+    Cycle prev_compute_start = start_cycle;
+    Cycle prev_prefetch_done = start_cycle;
+    bool first_fold = true;
+    // Compute-start history for depth-d prefetch: the buffer for fold
+    // f frees up when fold f-depth starts computing.
+    std::vector<Cycle> start_history;
+    std::uint64_t fold_index = 0;
+    const std::uint32_t depth = cfg_.prefetchDepth;
+    // Writeback of fold f is issued after fold f+1's prefetch so call
+    // order matches time order (prefetch overlaps the previous fold's
+    // compute; the writeback happens at that fold's drain).
+    bool pending_writeback = false;
+    TileSpan pending_span;
+
+    for (std::uint64_t rf = 0; rf < grid.rowFolds(); ++rf) {
+        for (std::uint64_t cf = 0; cf < grid.colFolds(); ++cf) {
+            const std::uint64_t tr = grid.tileRows(rf);
+            const std::uint64_t tc = grid.tileCols(cf);
+            const std::uint64_t rbase = rf * grid.arrayRows();
+            const std::uint64_t cbase = cf * grid.arrayCols();
+
+            FoldPlan plan;
+            switch (grid.dataflow()) {
+              case Dataflow::OutputStationary: {
+                if (operands.conv) {
+                    planConvIfmap(operands, rbase, rbase + tr - 1, 0,
+                                  k_dim - 1, k_dim, plan.reads);
+                } else if (ifmapCache_.access(rf, tr * k_dim)) {
+                    plan.reads.push_back({operands.ifmapAddr(rbase, 0),
+                                          1, tr * k_dim, 0});
+                }
+                if (filterCache_.access(cf, k_dim * tc)) {
+                    plan.reads.push_back({operands.filterAddr(0, cbase),
+                                          k_dim, tc, n_pitch});
+                }
+                plan.writeback = {operands.ofmapAddr(rbase, cbase), tr,
+                                  tc, n_pitch};
+                plan.hasWriteback = true;
+                break;
+              }
+              case Dataflow::WeightStationary: {
+                const std::uint64_t filter_key =
+                    rf * grid.colFolds() + cf;
+                if (filterCache_.access(filter_key, tr * tc)) {
+                    plan.reads.push_back({operands.filterAddr(rbase,
+                                                              cbase),
+                                          tr, tc, n_pitch});
+                }
+                if (operands.conv) {
+                    planConvIfmap(operands, 0, m_dim - 1, rbase,
+                                  rbase + tr - 1, k_dim, plan.reads);
+                } else if (ifmapCache_.access(rf, m_dim * tr)) {
+                    plan.reads.push_back({operands.ifmapAddr(0, rbase),
+                                          m_dim, tr,
+                                          operands.dims.k});
+                }
+                const std::uint64_t ofmap_fold_words = m_dim * tc;
+                const bool spills = ofmap_fold_words > cfg_.ofmapWords;
+                const bool last_rf = rf + 1 == grid.rowFolds();
+                if (spills && rf > 0) {
+                    // Partial sums re-loaded from DRAM.
+                    plan.reads.push_back({operands.ofmapAddr(0, cbase),
+                                          m_dim, tc, n_pitch});
+                }
+                if (spills || last_rf) {
+                    plan.writeback = {operands.ofmapAddr(0, cbase),
+                                      m_dim, tc, n_pitch};
+                    plan.hasWriteback = true;
+                }
+                break;
+              }
+              case Dataflow::InputStationary: {
+                const std::uint64_t ifmap_key =
+                    rf * grid.colFolds() + cf;
+                if (operands.conv) {
+                    planConvIfmap(operands, cbase, cbase + tc - 1,
+                                  rbase, rbase + tr - 1, k_dim,
+                                  plan.reads);
+                } else if (ifmapCache_.access(ifmap_key, tr * tc)) {
+                    plan.reads.push_back({operands.ifmapAddr(cbase,
+                                                             rbase),
+                                          tc, tr, operands.dims.k});
+                }
+                if (filterCache_.access(rf, n_dim * tr)) {
+                    plan.reads.push_back({operands.filterAddr(rbase, 0),
+                                          1, tr * n_dim, 0});
+                }
+                const std::uint64_t ofmap_fold_words = tc * n_dim;
+                const bool spills = ofmap_fold_words > cfg_.ofmapWords;
+                const bool last_rf = rf + 1 == grid.rowFolds();
+                if (spills && rf > 0) {
+                    plan.reads.push_back({operands.ofmapAddr(cbase, 0),
+                                          1, tc * n_dim, 0});
+                }
+                if (spills || last_rf) {
+                    plan.writeback = {operands.ofmapAddr(cbase, 0), 1,
+                                      tc * n_dim, 0};
+                    plan.hasWriteback = true;
+                }
+                break;
+              }
+            }
+
+            // Prefetch may start once the previous fold's prefetch
+            // has finished and a buffer is free — i.e. fold
+            // f-depth has started computing (depth = 1 is classic
+            // double buffering).
+            Cycle buffer_free = start_cycle;
+            if (fold_index >= depth)
+                buffer_free = start_history[fold_index - depth];
+            const Cycle issue_base = first_fold
+                ? start_cycle
+                : std::max(prev_prefetch_done, buffer_free);
+            Cycle ready = issue_base;
+            for (const auto& span : plan.reads)
+                ready = std::max(ready, issueReads(span, issue_base,
+                                                   timing));
+
+            // Retire the previous fold's writeback now that this
+            // fold's (earlier-in-time) prefetch has been issued. The
+            // drain overlaps the tail of the producing fold; only
+            // back-pressure extends the timeline.
+            if (pending_writeback) {
+                const std::uint64_t reqs = spanRequests(
+                    pending_span, cfg_.burstWords);
+                Cycle writes_base = compute_end > reqs
+                    ? compute_end - reqs : 0;
+                writes_base = std::max(writes_base, prev_compute_start);
+                const Cycle last_issue = issueWrites(pending_span,
+                                                     writes_base,
+                                                     timing);
+                compute_end = std::max(compute_end, last_issue);
+                pending_writeback = false;
+            }
+
+            const Cycle compute_start = std::max(compute_end, ready);
+            const Cycle fold_end = compute_start + fold_len;
+
+            if (plan.hasWriteback) {
+                pending_writeback = true;
+                pending_span = plan.writeback;
+            }
+
+            prev_prefetch_done = ready;
+            prev_compute_start = compute_start;
+            start_history.push_back(compute_start);
+            ++fold_index;
+            compute_end = fold_end;
+            first_fold = false;
+        }
+    }
+    if (pending_writeback) {
+        const std::uint64_t reqs = spanRequests(pending_span,
+                                                cfg_.burstWords);
+        Cycle writes_base = compute_end > reqs ? compute_end - reqs : 0;
+        writes_base = std::max(writes_base, prev_compute_start);
+        const Cycle last_issue = issueWrites(pending_span, writes_base,
+                                             timing);
+        compute_end = std::max(compute_end, last_issue);
+    }
+
+    timing.totalCycles = compute_end - start_cycle;
+    timing.stallCycles = timing.totalCycles > timing.computeCycles
+        ? timing.totalCycles - timing.computeCycles : 0;
+    timing.readQueueStalls = read_queue.fullStallCycles();
+    timing.writeQueueStalls = write_queue.fullStallCycles();
+
+    const MemoryStats& stats_after = memory_.stats();
+    const Count reads = stats_after.readRequests
+        - stats_before.readRequests;
+    if (reads) {
+        timing.avgReadLatency = static_cast<double>(
+            stats_after.totalReadLatency - stats_before.totalReadLatency)
+            / reads;
+    }
+    readQueue_ = nullptr;
+    writeQueue_ = nullptr;
+    return timing;
+}
+
+} // namespace scalesim::systolic

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Double-buffered scratchpad timing model. Schedules per-fold operand
+ * prefetches against a MainMemory through finite request queues,
+ * overlapping fold f's prefetch with fold f-1's compute, and accounts
+ * the resulting stall cycles — the v3 "memory delay modeling" of §V-A.
+ *
+ * Reuse is modeled at tile granularity: each operand SRAM keeps an LRU
+ * set of resident tiles sized to half its capacity (the other half is
+ * the shadow buffer being filled). Partial-sum (ofmap) traffic stays
+ * on-chip when a fold's output working set fits the ofmap SRAM,
+ * otherwise it spills and re-loads per fold.
+ */
+
+#ifndef SCALESIM_SYSTOLIC_SCRATCHPAD_HH
+#define SCALESIM_SYSTOLIC_SCRATCHPAD_HH
+
+#include <list>
+#include <vector>
+#include <unordered_map>
+
+#include "systolic/mapping.hpp"
+#include "systolic/memory.hpp"
+
+namespace scalesim::systolic
+{
+
+/** Scratchpad and memory-datapath configuration. */
+struct ScratchpadConfig
+{
+    std::uint64_t ifmapWords = 256 * 1024;
+    std::uint64_t filterWords = 256 * 1024;
+    std::uint64_t ofmapWords = 128 * 1024;
+    /** Words per DRAM transaction (burst). */
+    std::uint32_t burstWords = 64;
+    /** Finite request queues (§V-A.2). */
+    std::uint32_t readQueueSize = 128;
+    std::uint32_t writeQueueSize = 128;
+    /** Max demand requests the front-end can issue per cycle. */
+    std::uint32_t issuePerCycle = 1;
+
+    /**
+     * How many folds the prefetcher may run ahead of compute (1 =
+     * classic double buffering). Deeper prefetch hides longer memory
+     * latencies at the cost of more shadow-buffer capacity: the
+     * resident share of each SRAM shrinks to 1/(depth+1).
+     */
+    std::uint32_t prefetchDepth = 1;
+};
+
+/** Timing and traffic results of one layer run. */
+struct LayerTiming
+{
+    /** Ideal compute cycles (no memory stalls). */
+    Cycle computeCycles = 0;
+    /** Wall-clock cycles including stalls. */
+    Cycle totalCycles = 0;
+    /** totalCycles - computeCycles. */
+    Cycle stallCycles = 0;
+
+    std::uint64_t dramReadWords = 0;
+    std::uint64_t dramWriteWords = 0;
+    Count dramReadRequests = 0;
+    Count dramWriteRequests = 0;
+    /** Mean round-trip read latency in core cycles. */
+    double avgReadLatency = 0.0;
+    /** Cycles lost to a full read/write queue. */
+    Cycle readQueueStalls = 0;
+    Cycle writeQueueStalls = 0;
+
+    /** Average DRAM read bandwidth in words per cycle. */
+    double
+    readBandwidth() const
+    {
+        return totalCycles
+            ? static_cast<double>(dramReadWords) / totalCycles : 0.0;
+    }
+    double
+    writeBandwidth() const
+    {
+        return totalCycles
+            ? static_cast<double>(dramWriteWords) / totalCycles : 0.0;
+    }
+
+    void
+    accumulate(const LayerTiming& other)
+    {
+        computeCycles += other.computeCycles;
+        totalCycles += other.totalCycles;
+        stallCycles += other.stallCycles;
+        dramReadWords += other.dramReadWords;
+        dramWriteWords += other.dramWriteWords;
+        dramReadRequests += other.dramReadRequests;
+        dramWriteRequests += other.dramWriteRequests;
+        readQueueStalls += other.readQueueStalls;
+        writeQueueStalls += other.writeQueueStalls;
+        // Weighted by requests.
+        if (dramReadRequests) {
+            avgReadLatency = (avgReadLatency
+                * (dramReadRequests - other.dramReadRequests)
+                + other.avgReadLatency * other.dramReadRequests)
+                / dramReadRequests;
+        }
+    }
+};
+
+/**
+ * LRU tile cache standing in for one operand SRAM's active half.
+ */
+class TileCache
+{
+  public:
+    explicit TileCache(std::uint64_t capacity_words);
+
+    /**
+     * Touch tile `key` of `words` words. Returns the words that must be
+     * fetched from DRAM (0 on a resident hit; `words` on a miss).
+     * Oversized tiles bypass the cache entirely.
+     */
+    std::uint64_t access(std::uint64_t key, std::uint64_t words);
+
+    void clear();
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t used_ = 0;
+    std::list<std::pair<std::uint64_t, std::uint64_t>> lru_;
+    std::unordered_map<std::uint64_t, decltype(lru_)::iterator> index_;
+};
+
+/**
+ * The fold-level memory-system scheduler. One instance per core; reuse
+ * state persists across layers until reset().
+ */
+class DoubleBufferedScratchpad
+{
+  public:
+    DoubleBufferedScratchpad(const ScratchpadConfig& cfg,
+                             MainMemory& memory);
+
+    /**
+     * Run one layer.
+     *
+     * @param grid         fold geometry (possibly sparsity-compressed)
+     * @param operands     operand address map (dense dims)
+     * @param start_cycle  timeline origin (end of previous layer)
+     * @param compute_scale multiplies each fold's compute time (layout
+     *                     slowdown, SIMD serialization, ...)
+     */
+    LayerTiming runLayer(const FoldGrid& grid, const OperandMap& operands,
+                         Cycle start_cycle = 0,
+                         double compute_scale = 1.0);
+
+    /** Drop residency state (new workload / new core). */
+    void reset();
+
+    /** Strided address range of one operand tile in DRAM. */
+    struct TileSpan
+    {
+        Addr base = 0;
+        std::uint64_t segments = 0;
+        std::uint64_t segWords = 0;
+        std::uint64_t stride = 0;
+        std::uint64_t words() const { return segments * segWords; }
+    };
+
+  private:
+    /** Plan row-granular ifmap fetches for a convolution fold. */
+    void planConvIfmap(const OperandMap& operands, std::uint64_t m_lo,
+                       std::uint64_t m_hi, std::uint64_t k_lo,
+                       std::uint64_t k_hi, std::uint64_t effective_k,
+                       std::vector<TileSpan>& reads);
+
+    /** Issue a tile's bursts; returns completion of the last read. */
+    Cycle issueReads(const TileSpan& span, Cycle issue_base,
+                     LayerTiming& timing);
+    /** Issue write bursts; returns last accepted-issue time. */
+    Cycle issueWrites(const TileSpan& span, Cycle issue_base,
+                      LayerTiming& timing);
+
+    ScratchpadConfig cfg_;
+    MainMemory& memory_;
+    TileCache ifmapCache_;
+    TileCache filterCache_;
+    // Valid only while runLayer is executing.
+    RequestQueue* readQueue_ = nullptr;
+    RequestQueue* writeQueue_ = nullptr;
+};
+
+} // namespace scalesim::systolic
+
+#endif // SCALESIM_SYSTOLIC_SCRATCHPAD_HH

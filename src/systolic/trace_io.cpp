@@ -1,0 +1,131 @@
+#include "systolic/trace_io.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "common/csv.hpp"
+#include "common/log.hpp"
+
+namespace scalesim::systolic
+{
+
+SramTraceWriter::SramTraceWriter(std::ostream* ifmap_reads,
+                                 std::ostream* filter_reads,
+                                 std::ostream* ofmap_writes)
+    : ifmap_(ifmap_reads), filter_(filter_reads), ofmap_(ofmap_writes)
+{
+}
+
+void
+SramTraceWriter::writeRow(std::ostream& out, Cycle clk,
+                          std::span<const Addr> addrs)
+{
+    out << clk;
+    for (Addr a : addrs)
+        out << ", " << a;
+    out << "\n";
+}
+
+void
+SramTraceWriter::cycle(Cycle clk, std::span<const Addr> ifmap_reads,
+                       std::span<const Addr> filter_reads,
+                       std::span<const Addr> /*ofmap_reads*/,
+                       std::span<const Addr> ofmap_writes)
+{
+    if (ifmap_ && !ifmap_reads.empty()) {
+        writeRow(*ifmap_, clk, ifmap_reads);
+        ++rows_;
+    }
+    if (filter_ && !filter_reads.empty()) {
+        writeRow(*filter_, clk, filter_reads);
+        ++rows_;
+    }
+    if (ofmap_ && !ofmap_writes.empty()) {
+        writeRow(*ofmap_, clk, ofmap_writes);
+        ++rows_;
+    }
+}
+
+TracingMemory::TracingMemory(MainMemory& inner, std::uint32_t word_bytes)
+    : inner_(inner), wordBytes_(word_bytes == 0 ? 1 : word_bytes)
+{
+}
+
+Cycle
+TracingMemory::issueRead(Addr addr, Count words, Cycle now)
+{
+    records_.push_back({now, addr * wordBytes_, words * wordBytes_,
+                        false});
+    const Cycle done = inner_.issueRead(addr, words, now);
+    ++stats_.readRequests;
+    stats_.readWords += words;
+    stats_.totalReadLatency += done - now;
+    return done;
+}
+
+Cycle
+TracingMemory::issueWrite(Addr addr, Count words, Cycle now)
+{
+    records_.push_back({now, addr * wordBytes_, words * wordBytes_,
+                        true});
+    const Cycle done = inner_.issueWrite(addr, words, now);
+    ++stats_.writeRequests;
+    stats_.writeWords += words;
+    stats_.totalWriteLatency += done - now;
+    return done;
+}
+
+void
+writeMemTrace(std::ostream& out,
+              const std::vector<MemTraceRecord>& records)
+{
+    out << "# cycle, address, bytes, type\n";
+    for (const auto& rec : records) {
+        out << rec.cycle << ", " << rec.byteAddr << ", " << rec.bytes
+            << ", " << (rec.write ? 'W' : 'R') << "\n";
+    }
+}
+
+std::vector<MemTraceRecord>
+readMemTrace(std::istream& in)
+{
+    std::vector<MemTraceRecord> records;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::string trimmed = trim(line);
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        const auto cells = splitCsvLine(trimmed);
+        if (cells.size() < 4)
+            fatal("memory trace line %d: expected 4 fields", line_no);
+        MemTraceRecord rec;
+        char* end = nullptr;
+        rec.cycle = std::strtoull(cells[0].c_str(), &end, 0);
+        if (*end != '\0')
+            fatal("memory trace line %d: bad cycle '%s'", line_no,
+                  cells[0].c_str());
+        rec.byteAddr = std::strtoull(cells[1].c_str(), &end, 0);
+        if (*end != '\0')
+            fatal("memory trace line %d: bad address '%s'", line_no,
+                  cells[1].c_str());
+        rec.bytes = std::strtoull(cells[2].c_str(), &end, 0);
+        if (*end != '\0')
+            fatal("memory trace line %d: bad size '%s'", line_no,
+                  cells[2].c_str());
+        if (cells[3] == "W" || cells[3] == "w") {
+            rec.write = true;
+        } else if (cells[3] == "R" || cells[3] == "r") {
+            rec.write = false;
+        } else {
+            fatal("memory trace line %d: bad type '%s'", line_no,
+                  cells[3].c_str());
+        }
+        records.push_back(rec);
+    }
+    return records;
+}
+
+} // namespace scalesim::systolic

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cycle-accurate trace emission — SCALE-Sim's signature output files.
+ *
+ * SramTraceWriter taps the demand stream and writes the classic
+ * per-cycle SRAM traces ("cycle, addr, addr, ..."), one stream per
+ * operand. TracingMemory decorates any MainMemory and logs every
+ * main-memory transaction in the paper's §V-B format (request cycle,
+ * byte address, R/W), which readTrace/writeTrace round-trip to files
+ * for the Ramulator-style standalone flow (generate a trace once,
+ * replay it against many memory configurations).
+ */
+
+#ifndef SCALESIM_SYSTOLIC_TRACE_IO_HH
+#define SCALESIM_SYSTOLIC_TRACE_IO_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "systolic/demand.hpp"
+#include "systolic/memory.hpp"
+
+namespace scalesim::systolic
+{
+
+/** Writes per-cycle SRAM demand traces; null streams are skipped. */
+class SramTraceWriter : public DemandVisitor
+{
+  public:
+    SramTraceWriter(std::ostream* ifmap_reads,
+                    std::ostream* filter_reads,
+                    std::ostream* ofmap_writes);
+
+    void cycle(Cycle clk, std::span<const Addr> ifmap_reads,
+               std::span<const Addr> filter_reads,
+               std::span<const Addr> ofmap_reads,
+               std::span<const Addr> ofmap_writes) override;
+
+    Count rowsWritten() const { return rows_; }
+
+  private:
+    static void writeRow(std::ostream& out, Cycle clk,
+                         std::span<const Addr> addrs);
+
+    std::ostream* ifmap_;
+    std::ostream* filter_;
+    std::ostream* ofmap_;
+    Count rows_ = 0;
+};
+
+/** One §V-B main-memory trace record. */
+struct MemTraceRecord
+{
+    Cycle cycle = 0;   ///< request (issue) cycle, core clock
+    Addr byteAddr = 0; ///< byte address
+    Count bytes = 0;   ///< transaction size
+    bool write = false;
+
+    bool operator==(const MemTraceRecord&) const = default;
+};
+
+/** MainMemory decorator that records every transaction it forwards. */
+class TracingMemory : public MainMemory
+{
+  public:
+    TracingMemory(MainMemory& inner, std::uint32_t word_bytes = 1);
+
+    Cycle issueRead(Addr addr, Count words, Cycle now) override;
+    Cycle issueWrite(Addr addr, Count words, Cycle now) override;
+
+    const std::vector<MemTraceRecord>& records() const
+    {
+        return records_;
+    }
+    void clearRecords() { records_.clear(); }
+
+  private:
+    MainMemory& inner_;
+    std::uint32_t wordBytes_;
+    std::vector<MemTraceRecord> records_;
+};
+
+/** Write records as "cycle, address, bytes, R|W" CSV lines. */
+void writeMemTrace(std::ostream& out,
+                   const std::vector<MemTraceRecord>& records);
+
+/** Parse a trace written by writeMemTrace; fatal() on bad rows. */
+std::vector<MemTraceRecord> readMemTrace(std::istream& in);
+
+} // namespace scalesim::systolic
+
+#endif // SCALESIM_SYSTOLIC_TRACE_IO_HH

@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Property tests for the per-cycle demand generator: conservation
+ * against the closed-form access counts, address-range validity,
+ * write-once semantics, skew timing, and sparse gathering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/log.hpp"
+#include "sparse/pattern.hpp"
+#include "systolic/demand.hpp"
+
+using namespace scalesim;
+using namespace scalesim::systolic;
+
+namespace
+{
+
+OperandMap
+makeOperands(const GemmDims& gemm)
+{
+    MemoryConfig mem;
+    return OperandMap(gemm, mem);
+}
+
+/** Collects every address with its cycle for detailed checks. */
+class CollectingVisitor : public DemandVisitor
+{
+  public:
+    void
+    cycle(Cycle clk, std::span<const Addr> ifmap_reads,
+          std::span<const Addr> filter_reads,
+          std::span<const Addr> ofmap_reads,
+          std::span<const Addr> ofmap_writes) override
+    {
+        for (Addr a : ifmap_reads)
+            ifmap.emplace_back(clk, a);
+        for (Addr a : filter_reads)
+            filter.emplace_back(clk, a);
+        for (Addr a : ofmap_reads)
+            oreads.emplace_back(clk, a);
+        for (Addr a : ofmap_writes)
+            owrites.emplace_back(clk, a);
+    }
+
+    std::vector<std::pair<Cycle, Addr>> ifmap, filter, oreads, owrites;
+};
+
+} // namespace
+
+class DemandCountsMatchClosedForm
+    : public ::testing::TestWithParam<Dataflow>
+{
+};
+
+TEST_P(DemandCountsMatchClosedForm, Conservation)
+{
+    const GemmDims gemm{37, 23, 51};
+    DemandGenerator gen(gemm, GetParam(), 8, 4, makeOperands(gemm));
+    CountingVisitor counter;
+    gen.run(counter);
+    const auto expect = gen.grid().sramAccessCounts();
+    EXPECT_EQ(counter.ifmapReads, expect.ifmapReads);
+    EXPECT_EQ(counter.filterReads, expect.filterReads);
+    EXPECT_EQ(counter.ofmapWrites, expect.ofmapWrites);
+    EXPECT_EQ(counter.ofmapReads, expect.ofmapReads);
+    EXPECT_EQ(counter.lastCycle + 1, gen.grid().totalCycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDataflows, DemandCountsMatchClosedForm,
+    ::testing::Values(Dataflow::OutputStationary,
+                      Dataflow::WeightStationary,
+                      Dataflow::InputStationary),
+    [](const auto& info) { return toString(info.param); });
+
+class DemandAddressesInRange : public ::testing::TestWithParam<Dataflow>
+{
+};
+
+TEST_P(DemandAddressesInRange, Bounds)
+{
+    const GemmDims gemm{19, 13, 29};
+    const OperandMap operands = makeOperands(gemm);
+    DemandGenerator gen(gemm, GetParam(), 8, 8, operands);
+    CollectingVisitor collect;
+    gen.run(collect);
+    for (const auto& [clk, a] : collect.ifmap) {
+        EXPECT_GE(a, operands.ifmapBase);
+        EXPECT_LT(a, operands.ifmapBase + gemm.m * gemm.k);
+    }
+    for (const auto& [clk, a] : collect.filter) {
+        EXPECT_GE(a, operands.filterBase);
+        EXPECT_LT(a, operands.filterBase + gemm.k * gemm.n);
+    }
+    for (const auto& [clk, a] : collect.owrites) {
+        EXPECT_GE(a, operands.ofmapBase);
+        EXPECT_LT(a, operands.ofmapBase + gemm.m * gemm.n);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDataflows, DemandAddressesInRange,
+    ::testing::Values(Dataflow::OutputStationary,
+                      Dataflow::WeightStationary,
+                      Dataflow::InputStationary),
+    [](const auto& info) { return toString(info.param); });
+
+TEST(DemandOs, EveryOutputWrittenExactlyOnce)
+{
+    const GemmDims gemm{20, 12, 15};
+    const OperandMap operands = makeOperands(gemm);
+    DemandGenerator gen(gemm, Dataflow::OutputStationary, 8, 8,
+                        operands);
+    CollectingVisitor collect;
+    gen.run(collect);
+    std::map<Addr, int> writes;
+    for (const auto& [clk, a] : collect.owrites)
+        ++writes[a];
+    EXPECT_EQ(writes.size(), gemm.m * gemm.n);
+    for (const auto& [addr, count] : writes)
+        EXPECT_EQ(count, 1) << "address " << addr;
+}
+
+TEST(DemandOs, EveryOperandElementCovered)
+{
+    const GemmDims gemm{20, 12, 15};
+    const OperandMap operands = makeOperands(gemm);
+    DemandGenerator gen(gemm, Dataflow::OutputStationary, 8, 8,
+                        operands);
+    CollectingVisitor collect;
+    gen.run(collect);
+    std::set<Addr> ifmap_addrs;
+    for (const auto& [clk, a] : collect.ifmap)
+        ifmap_addrs.insert(a);
+    EXPECT_EQ(ifmap_addrs.size(), gemm.m * gemm.k);
+    std::set<Addr> filter_addrs;
+    for (const auto& [clk, a] : collect.filter)
+        filter_addrs.insert(a);
+    EXPECT_EQ(filter_addrs.size(), gemm.k * gemm.n);
+}
+
+TEST(DemandOs, SkewTiming)
+{
+    // Row r's first ifmap read happens at fold-local cycle r.
+    const GemmDims gemm{8, 8, 10};
+    const OperandMap operands = makeOperands(gemm);
+    DemandGenerator gen(gemm, Dataflow::OutputStationary, 8, 8,
+                        operands);
+    CollectingVisitor collect;
+    gen.run(collect);
+    std::map<std::uint64_t, Cycle> first_read; // row -> cycle
+    for (const auto& [clk, a] : collect.ifmap) {
+        const std::uint64_t row = (a - operands.ifmapBase) / gemm.k;
+        auto it = first_read.find(row);
+        if (it == first_read.end() || clk < it->second)
+            first_read[row] = clk;
+    }
+    for (const auto& [row, clk] : first_read)
+        EXPECT_EQ(clk, row);
+}
+
+TEST(DemandWs, AccumulationReadsOnlyAfterFirstRowFold)
+{
+    const GemmDims gemm{10, 6, 40}; // K = 40 -> several row folds at R=8
+    const OperandMap operands = makeOperands(gemm);
+    DemandGenerator gen(gemm, Dataflow::WeightStationary, 8, 8,
+                        operands);
+    CountingVisitor counter;
+    gen.run(counter);
+    const auto& grid = gen.grid();
+    ASSERT_GT(grid.rowFolds(), 1u);
+    EXPECT_EQ(counter.ofmapWrites,
+              gemm.m * gemm.n * grid.rowFolds());
+    EXPECT_EQ(counter.ofmapReads,
+              gemm.m * gemm.n * (grid.rowFolds() - 1));
+}
+
+TEST(DemandWs, FilterLoadedExactlyOnce)
+{
+    const GemmDims gemm{10, 12, 20};
+    const OperandMap operands = makeOperands(gemm);
+    DemandGenerator gen(gemm, Dataflow::WeightStationary, 8, 8,
+                        operands);
+    CollectingVisitor collect;
+    gen.run(collect);
+    std::map<Addr, int> loads;
+    for (const auto& [clk, a] : collect.filter)
+        ++loads[a];
+    EXPECT_EQ(loads.size(), gemm.k * gemm.n);
+    for (const auto& [addr, count] : loads)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(DemandSparse, GatherSkipsPrunedRows)
+{
+    const GemmDims gemm{16, 8, 32};
+    const OperandMap operands = makeOperands(gemm);
+    const auto pattern = sparse::SparsityPattern::layerWise(gemm.k, 1,
+                                                            4);
+    ASSERT_EQ(pattern.compressedK(), 8u);
+    DemandGenerator gen(gemm, Dataflow::WeightStationary, 8, 8,
+                        operands, &pattern);
+    CollectingVisitor collect;
+    gen.run(collect);
+    // Ifmap reads may only touch kept (first-of-four) K columns.
+    for (const auto& [clk, a] : collect.ifmap) {
+        const std::uint64_t k = (a - operands.ifmapBase) % gemm.k;
+        EXPECT_EQ(k % 4, 0u) << "read pruned k column " << k;
+    }
+    // Compressed run is shorter than the dense run.
+    DemandGenerator dense(gemm, Dataflow::WeightStationary, 8, 8,
+                          operands);
+    EXPECT_LT(gen.totalCycles(), dense.totalCycles());
+}
+
+TEST(DemandSparse, NonWsIsRejected)
+{
+    const GemmDims gemm{16, 8, 32};
+    const auto pattern = sparse::SparsityPattern::layerWise(gemm.k, 2,
+                                                            4);
+    EXPECT_THROW(DemandGenerator(gemm, Dataflow::OutputStationary, 8, 8,
+                                 makeOperands(gemm), &pattern),
+                 FatalError);
+}
+
+TEST(Demand, TeeVisitorFansOut)
+{
+    const GemmDims gemm{12, 8, 10};
+    DemandGenerator gen(gemm, Dataflow::OutputStationary, 4, 4,
+                        makeOperands(gemm));
+    CountingVisitor a, b;
+    TeeVisitor tee({&a, &b});
+    gen.run(tee);
+    EXPECT_GT(a.ifmapReads, 0u);
+    EXPECT_EQ(a.ifmapReads, b.ifmapReads);
+    EXPECT_EQ(a.ofmapWrites, b.ofmapWrites);
+}
+
+TEST(Demand, ActiveCyclesNeverExceedTotal)
+{
+    const GemmDims gemm{30, 20, 25};
+    for (auto df : {Dataflow::OutputStationary,
+                    Dataflow::WeightStationary,
+                    Dataflow::InputStationary}) {
+        DemandGenerator gen(gemm, df, 8, 8, makeOperands(gemm));
+        CountingVisitor counter;
+        gen.run(counter);
+        EXPECT_LE(counter.activeCycles, gen.totalCycles());
+        EXPECT_GT(counter.activeCycles, 0u);
+    }
+}
+
+TEST(DemandConv, ImcolAddressesReuseWindows)
+{
+    // 8x8 ifmap, 3x3 filter, 2 channels, stride 1 -> 6x6 outputs.
+    const LayerSpec layer = LayerSpec::conv("c", 8, 8, 3, 3, 2, 4, 1);
+    MemoryConfig mem;
+    const OperandMap operands = OperandMap::forLayer(layer, mem);
+    ASSERT_TRUE(operands.conv);
+    const GemmDims gemm = layer.toGemm();
+    DemandGenerator gen(gemm, Dataflow::OutputStationary, 8, 4,
+                        operands);
+    CollectingVisitor collect;
+    gen.run(collect);
+    std::set<Addr> unique;
+    for (const auto& [clk, a] : collect.ifmap) {
+        EXPECT_GE(a, operands.ifmapBase);
+        EXPECT_LT(a, operands.ifmapBase + 8 * 8 * 2);
+        unique.insert(a);
+    }
+    // Every ifmap word is touched (3x3/stride-1 covers all pixels),
+    // and the unique footprint is the real tensor, far below the
+    // im2col-expanded M*K.
+    EXPECT_EQ(unique.size(), 8u * 8u * 2u);
+    EXPECT_LT(unique.size(), gemm.m * gemm.k);
+    // Interior pixels are read multiple times (window overlap).
+    EXPECT_GT(collect.ifmap.size(), unique.size());
+}
+
+TEST(DemandConv, StridedWindowsSkipPixels)
+{
+    // 3x3 filter with stride 3: windows tile without overlap, so the
+    // read count equals the footprint exactly.
+    const LayerSpec layer = LayerSpec::conv("c", 9, 9, 3, 3, 1, 2, 3);
+    MemoryConfig mem;
+    const OperandMap operands = OperandMap::forLayer(layer, mem);
+    const GemmDims gemm = layer.toGemm();
+    DemandGenerator gen(gemm, Dataflow::OutputStationary, 16, 2,
+                        operands);
+    CollectingVisitor collect;
+    gen.run(collect);
+    std::set<Addr> unique;
+    for (const auto& [clk, a] : collect.ifmap)
+        unique.insert(a);
+    EXPECT_EQ(unique.size(), 9u * 9u);
+    // colFolds = 1, so each element is streamed exactly once.
+    EXPECT_EQ(collect.ifmap.size(), unique.size());
+}
+
+TEST(DemandConv, OneByOneConvMatchesGemm)
+{
+    // A 1x1 convolution is exactly a GEMM; the conv addressing must
+    // produce the same unique footprint.
+    const LayerSpec layer = LayerSpec::conv("c", 6, 6, 1, 1, 8, 4, 1);
+    MemoryConfig mem;
+    const OperandMap operands = OperandMap::forLayer(layer, mem);
+    const GemmDims gemm = layer.toGemm();
+    EXPECT_EQ(operands.ifmapWords(), gemm.m * gemm.k);
+    DemandGenerator gen(gemm, Dataflow::WeightStationary, 8, 4,
+                        operands);
+    CollectingVisitor collect;
+    gen.run(collect);
+    std::set<Addr> unique;
+    for (const auto& [clk, a] : collect.ifmap)
+        unique.insert(a);
+    EXPECT_EQ(unique.size(), gemm.m * gemm.k);
+}
+
+TEST(DemandConv, RowRangeHelper)
+{
+    const LayerSpec layer = LayerSpec::conv("c", 16, 16, 3, 3, 4, 8,
+                                            1);
+    MemoryConfig mem;
+    const OperandMap operands = OperandMap::forLayer(layer, mem);
+    // First output row, full K: ifmap rows 0..2.
+    const auto [h0, h1] = operands.ifmapRowRange(0, 13, 0,
+                                                 3 * 3 * 4 - 1);
+    EXPECT_EQ(h0, 0u);
+    EXPECT_EQ(h1, 2u);
+    // All outputs: full ifmap height.
+    const auto [a0, a1] = operands.ifmapRowRange(
+        0, 14 * 14 - 1, 0, 3 * 3 * 4 - 1);
+    EXPECT_EQ(a0, 0u);
+    EXPECT_EQ(a1, 15u);
+}
+
+/** Conv demand conservation across dataflow x array shape. */
+class ConvDemandSweep
+    : public ::testing::TestWithParam<
+          std::tuple<Dataflow, std::uint32_t, std::uint32_t>>
+{
+};
+
+TEST_P(ConvDemandSweep, CountsMatchClosedFormOnConvLayers)
+{
+    const auto [df, rows, cols] = GetParam();
+    const LayerSpec layer = LayerSpec::conv("c", 12, 12, 3, 3, 6, 10,
+                                            1);
+    MemoryConfig mem;
+    const OperandMap operands = OperandMap::forLayer(layer, mem);
+    DemandGenerator gen(layer.toGemm(), df, rows, cols, operands);
+    CountingVisitor counter;
+    gen.run(counter);
+    const auto expect = gen.grid().sramAccessCounts();
+    EXPECT_EQ(counter.ifmapReads, expect.ifmapReads);
+    EXPECT_EQ(counter.filterReads, expect.filterReads);
+    EXPECT_EQ(counter.ofmapWrites, expect.ofmapWrites);
+    EXPECT_EQ(counter.ofmapReads, expect.ofmapReads);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvDemandSweep,
+    ::testing::Combine(
+        ::testing::Values(Dataflow::OutputStationary,
+                          Dataflow::WeightStationary,
+                          Dataflow::InputStationary),
+        ::testing::Values(4u, 8u, 16u), ::testing::Values(4u, 8u)),
+    [](const auto& info) {
+        return toString(std::get<0>(info.param))
+            + format("_r%u_c%u", std::get<1>(info.param),
+                     std::get<2>(info.param));
+    });
+
+/** Sparse gather conservation across ratios. */
+class SparseGatherSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t,
+                                                std::uint32_t>>
+{
+};
+
+TEST_P(SparseGatherSweep, CompressedRunsConserveCounts)
+{
+    const auto [n, m] = GetParam();
+    const GemmDims gemm{24, 12, 48};
+    const OperandMap operands = makeOperands(gemm);
+    const auto pattern = sparse::SparsityPattern::layerWise(gemm.k, n,
+                                                            m);
+    DemandGenerator gen(gemm, Dataflow::WeightStationary, 8, 8,
+                        operands, &pattern);
+    CountingVisitor counter;
+    gen.run(counter);
+    const auto expect = gen.grid().sramAccessCounts();
+    EXPECT_EQ(counter.ifmapReads, expect.ifmapReads);
+    EXPECT_EQ(counter.filterReads, expect.filterReads);
+    EXPECT_EQ(counter.lastCycle + 1, gen.grid().totalCycles());
+    // Compressed K governs the fold grid.
+    EXPECT_EQ(gen.grid().gemm().k, pattern.compressedK());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, SparseGatherSweep,
+    ::testing::Values(std::make_pair(1u, 4u), std::make_pair(2u, 4u),
+                      std::make_pair(3u, 4u), std::make_pair(1u, 8u),
+                      std::make_pair(3u, 8u), std::make_pair(2u, 16u)),
+    [](const auto& info) {
+        return format("r%u_%u", info.param.first, info.param.second);
+    });
+
+TEST(DemandConv, BatchedImagesAddressDistinctTensors)
+{
+    LayerSpec layer = LayerSpec::conv("c", 6, 6, 3, 3, 2, 4, 1)
+                          .withBatch(2);
+    MemoryConfig mem;
+    const OperandMap operands = OperandMap::forLayer(layer, mem);
+    EXPECT_EQ(operands.batch, 2u);
+    EXPECT_EQ(operands.ifmapWords(), 2u * 6u * 6u * 2u);
+    const GemmDims gemm = layer.toGemm();
+    DemandGenerator gen(gemm, Dataflow::OutputStationary, 8, 4,
+                        operands);
+    CollectingVisitor collect;
+    gen.run(collect);
+    std::set<Addr> unique;
+    for (const auto& [clk, a] : collect.ifmap) {
+        EXPECT_LT(a, operands.ifmapBase + operands.ifmapWords());
+        unique.insert(a);
+    }
+    // Both images' tensors are fully touched.
+    EXPECT_EQ(unique.size(), operands.ifmapWords());
+}

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Unit tests for the energy module: ERT node scaling, MAC/scratchpad/
+ * SRAM action-count rules (§VII), trace-vs-analytical consistency,
+ * repeated-access lookup behavior, and the energy/power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "energy/action_counts.hpp"
+#include "energy/model.hpp"
+#include "systolic/demand.hpp"
+
+using namespace scalesim;
+using namespace scalesim::energy;
+using namespace scalesim::systolic;
+
+namespace
+{
+
+OperandMap
+makeOperands(const GemmDims& gemm)
+{
+    MemoryConfig mem;
+    return OperandMap(gemm, mem);
+}
+
+ActionCounts
+traceCounts(const GemmDims& gemm, Dataflow df, std::uint32_t array,
+            const EnergyConfig& cfg)
+{
+    DemandGenerator gen(gemm, df, array, array, makeOperands(gemm));
+    ActionCountVisitor visitor(cfg);
+    gen.run(visitor);
+    return visitor.counts();
+}
+
+} // namespace
+
+TEST(Ert, NodeScalingMonotone)
+{
+    const Ert n65 = Ert::forNode("65nm");
+    const Ert n28 = Ert::forNode("28nm");
+    EXPECT_LT(n28.macRandom, n65.macRandom);
+    EXPECT_LT(n28.sramReadRandom, n65.sramReadRandom);
+    EXPECT_LT(n28.dramPerWord, n65.dramPerWord);
+    EXPECT_THROW(Ert::forNode("3nm"), FatalError);
+}
+
+TEST(Ert, ActionOrdering)
+{
+    const Ert ert = Ert::node65nm();
+    // Gated < constant < random (the §VII-E clock-gating premise).
+    EXPECT_LT(ert.macGated, ert.macConstant);
+    EXPECT_LT(ert.macConstant, ert.macRandom);
+    // Repeated accesses cost less than random ones (§VII-C: "differ by
+    // more than double").
+    EXPECT_LT(ert.sramReadRepeat * 2, ert.sramReadRandom * 1.001);
+    EXPECT_LT(ert.sramWriteRepeat, ert.sramWriteRandom);
+    // DRAM is far more expensive than SRAM.
+    EXPECT_GT(ert.dramPerWord, 10 * ert.sramReadRandom);
+}
+
+TEST(ActionCounts, MacCountsMatchFormula)
+{
+    // MAC_random = #PEs x cycles x utilization = exact MAC count.
+    const GemmDims gemm{32, 24, 40};
+    EnergyConfig cfg;
+    const ActionCounts counts = traceCounts(
+        gemm, Dataflow::OutputStationary, 8, cfg);
+    const systolic::FoldGrid grid(gemm, Dataflow::OutputStationary, 8,
+                                  8);
+    const Count pe_cycles = 64ull * grid.totalCycles();
+    EXPECT_NEAR(static_cast<double>(counts.macRandom),
+                static_cast<double>(gemm.macs()),
+                static_cast<double>(gemm.macs()) * 0.01);
+    EXPECT_EQ(counts.macRandom + counts.macGated, pe_cycles);
+    EXPECT_EQ(counts.macConstant, 0u); // gating on by default
+}
+
+TEST(ActionCounts, GatingOffUsesConstant)
+{
+    const GemmDims gemm{16, 16, 16};
+    EnergyConfig cfg;
+    DemandGenerator gen(gemm, Dataflow::OutputStationary, 8, 8,
+                        makeOperands(gemm));
+    ActionCountVisitor visitor(cfg, /*clock_gating=*/false);
+    gen.run(visitor);
+    EXPECT_EQ(visitor.counts().macGated, 0u);
+    EXPECT_GT(visitor.counts().macConstant, 0u);
+}
+
+TEST(ActionCounts, SpadRulesFollowSramReads)
+{
+    // §VII-E: spad writes = corresponding SRAM reads; spad reads = MACs.
+    const GemmDims gemm{24, 16, 32};
+    EnergyConfig cfg;
+    const ActionCounts c = traceCounts(gemm,
+                                       Dataflow::WeightStationary, 8,
+                                       cfg);
+    EXPECT_EQ(c.ifmapSpadWrite, c.ifmapSram.reads());
+    EXPECT_EQ(c.weightSpadWrite, c.filterSram.reads());
+    EXPECT_EQ(c.ifmapSpadRead, c.macRandom);
+    EXPECT_EQ(c.psumSpadRead, c.macRandom);
+    EXPECT_EQ(c.psumSpadWrite, c.macRandom);
+}
+
+TEST(ActionCounts, WeightStationaryMinimizesWeightSpadWrites)
+{
+    // The defining property of WS (§VII-E): far fewer weight-spad
+    // writes than OS/IS on the same layer.
+    const GemmDims gemm{64, 48, 56};
+    EnergyConfig cfg;
+    const auto ws = traceCounts(gemm, Dataflow::WeightStationary, 8,
+                                cfg);
+    const auto os = traceCounts(gemm, Dataflow::OutputStationary, 8,
+                                cfg);
+    const auto is = traceCounts(gemm, Dataflow::InputStationary, 8,
+                                cfg);
+    EXPECT_LT(ws.weightSpadWrite, os.weightSpadWrite);
+    EXPECT_LT(ws.weightSpadWrite, is.weightSpadWrite);
+    // And IS minimizes ifmap-spad writes.
+    EXPECT_LT(is.ifmapSpadWrite, ws.ifmapSpadWrite);
+}
+
+TEST(ActionCounts, SequentialStreamsRepeat)
+{
+    // OS ifmap feeders walk stride-1 addresses: with rowSize 32 the
+    // repeat fraction should approach 31/32.
+    const GemmDims gemm{16, 16, 256};
+    EnergyConfig cfg;
+    cfg.rowSize = 32;
+    const auto c = traceCounts(gemm, Dataflow::OutputStationary, 16,
+                               cfg);
+    const double repeat_fraction =
+        static_cast<double>(c.ifmapSram.readRepeat)
+        / static_cast<double>(c.ifmapSram.reads());
+    EXPECT_GT(repeat_fraction, 0.85);
+}
+
+TEST(ActionCounts, UnitRowSizeMakesEverythingRandom)
+{
+    // With a one-word row buffer there is nothing to repeat from: a
+    // repeat would require re-reading the exact same address while it
+    // is still tracked, which streaming passes don't do.
+    const GemmDims gemm{16, 128, 64};
+    EnergyConfig cfg;
+    cfg.rowSize = 1;
+    const auto c = traceCounts(gemm, Dataflow::OutputStationary, 16,
+                               cfg);
+    const double random_fraction =
+        static_cast<double>(c.filterSram.readRandom)
+        / static_cast<double>(c.filterSram.reads());
+    EXPECT_GT(random_fraction, 0.99);
+}
+
+TEST(ActionCounts, BiggerRowSizeMoreRepeats)
+{
+    // The 'row size' knob (§VII-C) directly controls how much repeated
+    //-access energy saving is available.
+    const GemmDims gemm{32, 32, 64};
+    EnergyConfig small_cfg;
+    small_cfg.rowSize = 2;
+    EnergyConfig big_cfg;
+    big_cfg.rowSize = 64;
+    const auto small_rows = traceCounts(
+        gemm, Dataflow::OutputStationary, 16, small_cfg);
+    const auto big_rows = traceCounts(
+        gemm, Dataflow::OutputStationary, 16, big_cfg);
+    EXPECT_GT(big_rows.ifmapSram.readRepeat,
+              small_rows.ifmapSram.readRepeat);
+}
+
+TEST(ActionCounts, IdleFormula)
+{
+    // idle = cycles x ports - used (§VII-D).
+    const GemmDims gemm{16, 16, 16};
+    EnergyConfig cfg;
+    DemandGenerator gen(gemm, Dataflow::OutputStationary, 8, 8,
+                        makeOperands(gemm));
+    ActionCountVisitor visitor(cfg);
+    gen.run(visitor);
+    const auto& c = visitor.counts();
+    const Count ports = 8ull * c.cycles;
+    EXPECT_EQ(c.ifmapSram.idle, ports - c.ifmapSram.reads());
+}
+
+TEST(ActionCounts, TraceAndAnalyticalAgreeOnStructure)
+{
+    const GemmDims gemm{48, 32, 40};
+    EnergyConfig cfg;
+    for (auto df : {Dataflow::OutputStationary,
+                    Dataflow::WeightStationary,
+                    Dataflow::InputStationary}) {
+        const systolic::FoldGrid grid(gemm, df, 8, 8);
+        const ActionCounts analytical = analyticalActionCounts(grid,
+                                                               cfg);
+        const ActionCounts trace = traceCounts(gemm, df, 8, cfg);
+        EXPECT_EQ(analytical.cycles, trace.cycles) << toString(df);
+        EXPECT_EQ(analytical.macRandom, trace.macRandom)
+            << toString(df);
+        // Total SRAM access counts (random + repeat) are exact in both
+        // paths; only the split is estimated analytically.
+        EXPECT_EQ(analytical.ifmapSram.reads(),
+                  trace.ifmapSram.reads()) << toString(df);
+        EXPECT_EQ(analytical.filterSram.reads(),
+                  trace.filterSram.reads()) << toString(df);
+        EXPECT_EQ(analytical.ofmapSram.writes(),
+                  trace.ofmapSram.writes()) << toString(df);
+        EXPECT_EQ(analytical.nocWords, trace.nocWords) << toString(df);
+    }
+}
+
+TEST(ActionCounts, MergeAccumulates)
+{
+    ActionCounts a, b;
+    a.macRandom = 10;
+    a.ifmapSram.readRandom = 5;
+    b.macRandom = 7;
+    b.ifmapSram.readRepeat = 3;
+    b.cycles = 11;
+    a.merge(b);
+    EXPECT_EQ(a.macRandom, 17u);
+    EXPECT_EQ(a.ifmapSram.readRandom, 5u);
+    EXPECT_EQ(a.ifmapSram.readRepeat, 3u);
+    EXPECT_EQ(a.cycles, 11u);
+}
+
+TEST(Model, EnergyPositiveAndDecomposed)
+{
+    const GemmDims gemm{32, 32, 32};
+    const systolic::FoldGrid grid(gemm, Dataflow::OutputStationary, 8,
+                                  8);
+    EnergyConfig cfg;
+    ActionCounts counts = analyticalActionCounts(grid, cfg);
+    counts.dramReadWords = 1000;
+    counts.dramWriteWords = 500;
+    EnergyModel model(Ert::node65nm(), cfg, 64, 640.0);
+    const EnergyBreakdown e = model.energy(counts);
+    EXPECT_GT(e.peArray, 0.0);
+    EXPECT_GT(e.glb, 0.0);
+    EXPECT_GT(e.noc, 0.0);
+    EXPECT_GT(e.dram, 0.0);
+    EXPECT_GT(e.staticE, 0.0);
+    EXPECT_NEAR(e.totalPj(),
+                e.peArray + e.glb + e.noc + e.dram + e.staticE, 1e-6);
+    EXPECT_GT(model.averagePowerW(e, grid.totalCycles()), 0.0);
+    EXPECT_GT(model.edp(e, grid.totalCycles()), 0.0);
+}
+
+TEST(Model, GatingSavesEnergy)
+{
+    const GemmDims gemm{8, 8, 64};
+    const systolic::FoldGrid grid(gemm, Dataflow::OutputStationary, 32,
+                                  32); // badly underutilized
+    EnergyConfig cfg;
+    const ActionCounts gated = analyticalActionCounts(grid, cfg, true);
+    const ActionCounts clocked = analyticalActionCounts(grid, cfg,
+                                                        false);
+    EnergyModel model(Ert::node65nm(), cfg, 1024, 640.0);
+    EXPECT_LT(model.energy(gated).totalPj(),
+              model.energy(clocked).totalPj());
+}
+
+TEST(Model, BiggerArrayCostsMoreOnSmallWork)
+{
+    // The paper's headline: oversized arrays waste energy on
+    // under-utilized PEs and leakage.
+    const GemmDims gemm{64, 64, 64};
+    EnergyConfig cfg;
+    auto energy_for = [&](std::uint32_t array) {
+        const systolic::FoldGrid grid(gemm,
+                                      Dataflow::OutputStationary,
+                                      array, array);
+        const ActionCounts counts = analyticalActionCounts(grid, cfg);
+        EnergyModel model(Ert::node65nm(), cfg,
+                          static_cast<std::uint64_t>(array) * array,
+                          640.0);
+        return model.energy(counts).totalPj();
+    };
+    EXPECT_LT(energy_for(64), energy_for(256));
+}
+
+TEST(Model, SecondsAndPowerConsistent)
+{
+    EnergyConfig cfg;
+    cfg.frequencyGhz = 2.0;
+    EnergyModel model(Ert::node65nm(), cfg, 16, 64.0);
+    EXPECT_DOUBLE_EQ(model.seconds(2'000'000'000ull), 1.0);
+    EnergyBreakdown e;
+    e.peArray = 1e12; // 1 J
+    EXPECT_NEAR(model.averagePowerW(e, 2'000'000'000ull), 1.0, 1e-9);
+}
+
+TEST(Model, DramCommandEnergyTracksRowLocality)
+{
+    EnergyConfig cfg;
+    EnergyModel model(Ert::node65nm(), cfg, 64, 64.0);
+    // Same burst count, different activation counts: the row-thrashing
+    // pattern costs more.
+    const double streaming = model.dramCommandEnergyPj(10, 1000, 0, 2);
+    const double thrashing = model.dramCommandEnergyPj(1000, 1000, 0,
+                                                       2);
+    EXPECT_GT(thrashing, streaming);
+    EXPECT_GT(streaming, 0.0);
+}
+
+TEST(Model, DramCommandEnergyComponents)
+{
+    EnergyConfig cfg;
+    const Ert ert = Ert::node65nm();
+    EnergyModel model(ert, cfg, 64, 64.0);
+    EXPECT_DOUBLE_EQ(model.dramCommandEnergyPj(1, 0, 0, 0),
+                     ert.dramActPj);
+    EXPECT_DOUBLE_EQ(model.dramCommandEnergyPj(0, 2, 3, 0),
+                     2 * ert.dramReadBurstPj + 3 * ert.dramWriteBurstPj);
+    EXPECT_DOUBLE_EQ(model.dramCommandEnergyPj(0, 0, 0, 5),
+                     5 * ert.dramRefreshPj);
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for on-chip data layout modeling: the line/col/bank index
+ * equations, layout constructors, and the bank-conflict evaluator's
+ * slowdown properties (>= 1, fewer conflicts with more banks/ports,
+ * layout sensitivity).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "layout/layout.hpp"
+#include "systolic/demand.hpp"
+
+using namespace scalesim;
+using namespace scalesim::layout;
+using namespace scalesim::systolic;
+
+namespace
+{
+
+OperandMap
+makeOperands(const GemmDims& gemm)
+{
+    MemoryConfig mem;
+    return OperandMap(gemm, mem);
+}
+
+LayoutModelConfig
+layoutCfg(std::uint32_t banks, std::uint32_t ports,
+          std::uint32_t bandwidth)
+{
+    LayoutModelConfig cfg;
+    cfg.enabled = true;
+    cfg.banks = banks;
+    cfg.portsPerBank = ports;
+    cfg.onChipBandwidth = bandwidth;
+    return cfg;
+}
+
+double
+evaluate(const GemmDims& gemm, Dataflow df, std::uint32_t array,
+         const LayoutModelConfig& cfg, LayoutScheme scheme)
+{
+    const OperandMap operands = makeOperands(gemm);
+    DemandGenerator gen(gemm, df, array, array, operands);
+    BankConflictEvaluator eval(cfg,
+                               OperandLayouts::forGemm(gemm, cfg,
+                                                       scheme));
+    gen.run(eval);
+    return eval.slowdown();
+}
+
+} // namespace
+
+TEST(Layout2D, IndexEquations)
+{
+    // 8x8 operand, 2x4 line tiles.
+    Layout2D l{8, 8, 2, 4};
+    EXPECT_EQ(l.wordsPerLine(), 8u);
+    EXPECT_EQ(l.lineTiles(), 8u);
+    EXPECT_EQ(l.lineId(0, 0), 0u);
+    EXPECT_EQ(l.lineId(0, 4), 1u);
+    EXPECT_EQ(l.lineId(2, 0), 2u);
+    EXPECT_EQ(l.lineId(7, 7), 7u);
+    EXPECT_EQ(l.colId(0, 0), 0u);
+    EXPECT_EQ(l.colId(0, 3), 3u);
+    EXPECT_EQ(l.colId(1, 0), 4u);
+    EXPECT_EQ(l.colId(1, 3), 7u);
+}
+
+TEST(Layout2D, Constructors)
+{
+    const auto rm = Layout2D::rowMajor(16, 64, 32);
+    EXPECT_EQ(rm.rowStep, 1u);
+    EXPECT_EQ(rm.colStep, 32u);
+    const auto cm = Layout2D::colMajor(16, 64, 32);
+    EXPECT_EQ(cm.rowStep, 16u); // clamped to rows
+    EXPECT_EQ(cm.colStep, 1u);
+    const auto tl = Layout2D::tiled(64, 64, 16);
+    EXPECT_EQ(tl.rowStep * tl.colStep, 16u);
+}
+
+TEST(Layout2D, ClampsToOperandDims)
+{
+    const auto rm = Layout2D::rowMajor(4, 8, 128);
+    EXPECT_EQ(rm.colStep, 8u);
+}
+
+TEST(Evaluator, SlowdownAtLeastOne)
+{
+    const GemmDims gemm{32, 24, 40};
+    for (auto df : {Dataflow::OutputStationary,
+                    Dataflow::WeightStationary,
+                    Dataflow::InputStationary}) {
+        const double s = evaluate(gemm, df, 8,
+                                  layoutCfg(16, 2, 64),
+                                  LayoutScheme::RowMajor);
+        EXPECT_GE(s, 1.0) << toString(df);
+    }
+}
+
+TEST(Evaluator, MoreBanksNeverWorse)
+{
+    // Paper §VI: at fixed total bandwidth, more banks reduce the
+    // slowdown.
+    const GemmDims gemm{64, 48, 80};
+    const double few = evaluate(gemm, Dataflow::OutputStationary, 16,
+                                layoutCfg(2, 1, 64),
+                                LayoutScheme::RowMajor);
+    const double many = evaluate(gemm, Dataflow::OutputStationary, 16,
+                                 layoutCfg(32, 1, 64),
+                                 LayoutScheme::RowMajor);
+    EXPECT_LE(many, few);
+    EXPECT_GT(few, 1.0);
+}
+
+TEST(Evaluator, MorePortsNeverWorse)
+{
+    const GemmDims gemm{64, 48, 80};
+    const double one = evaluate(gemm, Dataflow::OutputStationary, 16,
+                                layoutCfg(4, 1, 64),
+                                LayoutScheme::RowMajor);
+    const double four = evaluate(gemm, Dataflow::OutputStationary, 16,
+                                 layoutCfg(4, 4, 64),
+                                 LayoutScheme::RowMajor);
+    EXPECT_LE(four, one);
+}
+
+TEST(Evaluator, LayoutMatters)
+{
+    // A column of an operand requested in one cycle: row-major lines
+    // put every element in a different line of the same bank (8-way
+    // conflict); column-major packs them into one line (no conflict).
+    const GemmDims gemm{64, 64, 64};
+    const OperandMap operands = makeOperands(gemm);
+    const LayoutModelConfig cfg = layoutCfg(4, 1, 32);
+    const systolic::FoldGrid grid(gemm, Dataflow::OutputStationary, 8,
+                                  8);
+    std::vector<Addr> column;
+    for (std::uint64_t r = 0; r < 8; ++r)
+        column.push_back(operands.ifmapAddr(r, 5)); // fixed k column
+
+    OperandLayouts rm = OperandLayouts::forGemm(
+        gemm, cfg, LayoutScheme::RowMajor);
+    BankConflictEvaluator rm_eval(cfg, rm);
+    rm_eval.beginLayer(grid, operands);
+    rm_eval.cycle(0, column, {}, {}, {});
+
+    OperandLayouts cm = OperandLayouts::forGemm(
+        gemm, cfg, LayoutScheme::ColMajor);
+    BankConflictEvaluator cm_eval(cfg, cm);
+    cm_eval.beginLayer(grid, operands);
+    cm_eval.cycle(0, column, {}, {}, {});
+
+    EXPECT_EQ(cm_eval.slowedCycles(), 1u);
+    EXPECT_GT(rm_eval.slowedCycles(), cm_eval.slowedCycles());
+}
+
+TEST(Evaluator, IdleCyclesCostOne)
+{
+    // A layer's slowed cycles can never be less than its ideal cycles.
+    const GemmDims gemm{16, 16, 16};
+    const OperandMap operands = makeOperands(gemm);
+    DemandGenerator gen(gemm, Dataflow::WeightStationary, 8, 8,
+                        operands);
+    const LayoutModelConfig cfg = layoutCfg(64, 4, 256);
+    BankConflictEvaluator eval(
+        cfg, OperandLayouts::forGemm(gemm, cfg, LayoutScheme::RowMajor));
+    gen.run(eval);
+    EXPECT_GE(eval.slowedCycles(), eval.idealCycles());
+    EXPECT_EQ(eval.idealCycles(), gen.grid().totalCycles());
+}
+
+TEST(Evaluator, ConflictCyclesBounded)
+{
+    const GemmDims gemm{32, 32, 32};
+    const OperandMap operands = makeOperands(gemm);
+    DemandGenerator gen(gemm, Dataflow::OutputStationary, 16, 16,
+                        operands);
+    const LayoutModelConfig cfg = layoutCfg(2, 1, 16);
+    BankConflictEvaluator eval(
+        cfg, OperandLayouts::forGemm(gemm, cfg, LayoutScheme::RowMajor));
+    gen.run(eval);
+    EXPECT_LE(eval.conflictCycles(), gen.grid().totalCycles());
+    EXPECT_GT(eval.conflictCycles(), 0u);
+}
+
+class BankSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(BankSweep, MonotoneImprovementTrend)
+{
+    const GemmDims gemm{48, 48, 48};
+    const double s = evaluate(gemm, Dataflow::OutputStationary, 16,
+                              layoutCfg(GetParam(), 1, 64),
+                              LayoutScheme::RowMajor);
+    EXPECT_GE(s, 1.0);
+    // With max banks (= bandwidth) conflicts all but vanish.
+    if (GetParam() >= 64) {
+        EXPECT_LT(s, 1.6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Banks, BankSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u,
+                                           64u),
+                         [](const auto& info) {
+                             return format("b%u", info.param);
+                         });

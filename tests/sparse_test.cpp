@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the sparsity module: N:M pattern construction,
+ * gather-map invariants, storage models for Blocked ELLPACK / CSR /
+ * CSC, and the per-layer sparse model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "sparse/model.hpp"
+
+using namespace scalesim;
+using namespace scalesim::sparse;
+
+TEST(Pattern, LayerWiseCompression)
+{
+    const auto p = SparsityPattern::layerWise(64, 2, 4);
+    EXPECT_EQ(p.denseK(), 64u);
+    EXPECT_EQ(p.compressedK(), 32u);
+    EXPECT_DOUBLE_EQ(p.density(), 0.5);
+    EXPECT_EQ(p.blockSize(), 4u);
+}
+
+TEST(Pattern, LayerWiseDenseRatio)
+{
+    const auto p = SparsityPattern::layerWise(64, 4, 4);
+    EXPECT_EQ(p.compressedK(), 64u);
+    EXPECT_DOUBLE_EQ(p.density(), 1.0);
+}
+
+TEST(Pattern, LayerWiseRaggedTail)
+{
+    // K = 10, blocks of 4 -> last block has only 2 rows; keeping 3
+    // per block caps at the block's real size.
+    const auto p = SparsityPattern::layerWise(10, 3, 4);
+    EXPECT_EQ(p.compressedK(), 3u + 3u + 2u);
+}
+
+TEST(Pattern, OrigKMonotoneAndKept)
+{
+    const auto p = SparsityPattern::layerWise(32, 1, 4);
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < p.compressedK(); ++i) {
+        const std::uint64_t k = p.origK(i);
+        if (i > 0)
+            EXPECT_GT(k, prev);
+        EXPECT_EQ(k % 4, 0u); // first row of each block
+        prev = k;
+    }
+}
+
+TEST(Pattern, RowWiseRespectsHalfBound)
+{
+    Rng rng(42);
+    const auto p = SparsityPattern::rowWise(256, 8, rng);
+    for (std::uint32_t nnz : p.blockNnz()) {
+        EXPECT_GE(nnz, 1u);
+        EXPECT_LE(nnz, 4u); // M/2
+    }
+    EXPECT_LE(p.density(), 0.5 + 1e-9);
+    EXPECT_GT(p.density(), 0.0);
+}
+
+TEST(Pattern, RowWiseDeterministicPerSeed)
+{
+    Rng a(7), b(7), c(8);
+    const auto pa = SparsityPattern::rowWise(128, 4, a);
+    const auto pb = SparsityPattern::rowWise(128, 4, b);
+    const auto pc = SparsityPattern::rowWise(128, 4, c);
+    EXPECT_EQ(pa.blockNnz(), pb.blockNnz());
+    EXPECT_NE(pa.blockNnz(), pc.blockNnz());
+}
+
+TEST(Pattern, InvalidRatiosRejected)
+{
+    EXPECT_THROW(SparsityPattern::layerWise(16, 5, 4), FatalError);
+    EXPECT_THROW(SparsityPattern::layerWise(16, 0, 4), FatalError);
+    Rng rng(1);
+    EXPECT_THROW(SparsityPattern::rowWise(16, 1, rng), FatalError);
+}
+
+TEST(Formats, IndexBits)
+{
+    EXPECT_EQ(indexBits(1), 1u);
+    EXPECT_EQ(indexBits(2), 1u);
+    EXPECT_EQ(indexBits(4), 2u);
+    EXPECT_EQ(indexBits(5), 3u);
+    EXPECT_EQ(indexBits(1024), 10u);
+}
+
+TEST(Formats, EllpackBlockStorage)
+{
+    // Fig. 6: one value + log2(M)-bit index per nonzero.
+    const auto p = SparsityPattern::layerWise(64, 2, 4);
+    const auto r = storageFor(SparseRep::EllpackBlock, p, 16, 8);
+    const std::uint64_t nnz = 32u * 16u;
+    EXPECT_EQ(r.originalBits, 64u * 16u * 8u);
+    EXPECT_EQ(r.valueBits, nnz * 8u);
+    EXPECT_EQ(r.metadataBits, nnz * 2u); // log2(4) = 2
+    EXPECT_GT(r.compressionRatio(), 1.0);
+}
+
+TEST(Formats, DenseStorageHasNoMetadata)
+{
+    const auto p = SparsityPattern::dense(64);
+    const auto r = storageFor(SparseRep::Dense, p, 16, 8);
+    EXPECT_EQ(r.totalBits(), r.originalBits);
+    EXPECT_EQ(r.metadataBits, 0u);
+}
+
+TEST(Formats, CsrAndCscStructure)
+{
+    const auto p = SparsityPattern::layerWise(64, 1, 4);
+    const std::uint64_t nnz = 16u * 32u;
+    const auto csr = storageFor(SparseRep::Csr, p, 32, 8);
+    EXPECT_EQ(csr.valueBits, nnz * 8u);
+    // column indices (log2(32) = 5) + 65 row pointers.
+    EXPECT_EQ(csr.metadataBits, nnz * 5u + 65u * indexBits(nnz + 1));
+    const auto csc = storageFor(SparseRep::Csc, p, 32, 8);
+    EXPECT_EQ(csc.valueBits, nnz * 8u);
+    EXPECT_EQ(csc.metadataBits, nnz * indexBits(64) + 33u
+              * indexBits(nnz + 1));
+}
+
+TEST(Formats, HigherSparsityShrinksStorage)
+{
+    const auto p14 = SparsityPattern::layerWise(256, 1, 4);
+    const auto p24 = SparsityPattern::layerWise(256, 2, 4);
+    const auto p34 = SparsityPattern::layerWise(256, 3, 4);
+    const auto s14 = storageFor(SparseRep::EllpackBlock, p14, 64);
+    const auto s24 = storageFor(SparseRep::EllpackBlock, p24, 64);
+    const auto s34 = storageFor(SparseRep::EllpackBlock, p34, 64);
+    EXPECT_LT(s14.totalBits(), s24.totalBits());
+    EXPECT_LT(s24.totalBits(), s34.totalBits());
+    EXPECT_LT(s34.totalBits(), s34.originalBits);
+}
+
+TEST(Model, LayerWiseFromAnnotation)
+{
+    LayerSpec layer = LayerSpec::gemm("l", 64, 32, 128);
+    layer.sparseN = 1;
+    layer.sparseM = 4;
+    SparsityConfig cfg;
+    cfg.enabled = true;
+    SparseLayerModel model(layer, cfg);
+    EXPECT_TRUE(model.active());
+    EXPECT_EQ(model.effectiveGemm().k, 32u);
+    EXPECT_EQ(model.effectiveGemm().m, 64u);
+    const auto report = model.report();
+    EXPECT_EQ(report.ratioN, 1u);
+    EXPECT_EQ(report.ratioM, 4u);
+    EXPECT_EQ(report.denseK, 128u);
+    EXPECT_EQ(report.compressedK, 32u);
+    EXPECT_LT(report.newFilterBits, report.originalFilterBits);
+}
+
+TEST(Model, DisabledConfigIgnoresAnnotation)
+{
+    LayerSpec layer = LayerSpec::gemm("l", 64, 32, 128);
+    layer.sparseN = 1;
+    layer.sparseM = 4;
+    SparsityConfig cfg; // enabled = false
+    SparseLayerModel model(layer, cfg);
+    EXPECT_FALSE(model.active());
+    EXPECT_EQ(model.effectiveGemm().k, 128u);
+}
+
+TEST(Model, RowWiseVariesAcrossLayers)
+{
+    LayerSpec layer = LayerSpec::gemm("l", 64, 32, 256);
+    SparsityConfig cfg;
+    cfg.optimizedMapping = true;
+    cfg.blockSize = 8;
+    SparseLayerModel m0(layer, cfg, 0);
+    SparseLayerModel m1(layer, cfg, 1);
+    EXPECT_TRUE(m0.active());
+    EXPECT_TRUE(m1.active());
+    EXPECT_NE(m0.pattern().blockNnz(), m1.pattern().blockNnz());
+    // Same layer index reproduces the same pattern.
+    SparseLayerModel m0b(layer, cfg, 0);
+    EXPECT_EQ(m0.pattern().blockNnz(), m0b.pattern().blockNnz());
+}
+
+TEST(Model, ReportHasRepresentationName)
+{
+    LayerSpec layer = LayerSpec::gemm("l", 4, 4, 16);
+    layer.sparseN = 2;
+    layer.sparseM = 4;
+    SparsityConfig cfg;
+    cfg.enabled = true;
+    cfg.rep = SparseRep::EllpackBlock;
+    SparseLayerModel model(layer, cfg);
+    EXPECT_EQ(model.report().representation, "ellpack_block");
+}
+
+class SparsitySweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t,
+                                                std::uint32_t>>
+{
+};
+
+TEST_P(SparsitySweep, CompressionMatchesRatio)
+{
+    const auto [n, m] = GetParam();
+    const std::uint64_t k = 4096; // divisible by all tested M
+    const auto p = SparsityPattern::layerWise(k, n, m);
+    EXPECT_EQ(p.compressedK(), k * n / m);
+    const auto storage = storageFor(SparseRep::EllpackBlock, p, 128, 8);
+    const double expected_value_ratio = static_cast<double>(n) / m;
+    EXPECT_NEAR(static_cast<double>(storage.valueBits)
+                    / static_cast<double>(storage.originalBits),
+                expected_value_ratio, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, SparsitySweep,
+    ::testing::Values(std::make_pair(1u, 4u), std::make_pair(2u, 4u),
+                      std::make_pair(3u, 4u), std::make_pair(4u, 4u),
+                      std::make_pair(1u, 8u), std::make_pair(4u, 8u),
+                      std::make_pair(8u, 16u),
+                      std::make_pair(16u, 32u)),
+    [](const auto& info) {
+        return format("r%u_%u", info.param.first, info.param.second);
+    });

@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Unit tests for the systolic compute substrate: fold geometry, the
+ * analytical runtime formula, SRAM access-count closed forms, the
+ * bandwidth memory, request queues, and the double-buffered scratchpad
+ * timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/log.hpp"
+#include "systolic/mapping.hpp"
+#include "systolic/memory.hpp"
+#include "systolic/scratchpad.hpp"
+#include "systolic/trace_io.hpp"
+
+using namespace scalesim;
+using namespace scalesim::systolic;
+
+namespace
+{
+
+OperandMap
+makeOperands(const GemmDims& gemm)
+{
+    MemoryConfig mem;
+    return OperandMap(gemm, mem);
+}
+
+} // namespace
+
+TEST(FoldGrid, RuntimeFormulaMatchesPaper)
+{
+    // (2R + C + T - 2) * ceil(Sr/R) * ceil(Sc/C), Eq. 1 with Pr=Pc=1.
+    const GemmDims gemm{100, 60, 40};
+    const std::uint32_t r = 16;
+    const std::uint32_t c = 8;
+    {
+        FoldGrid grid(gemm, Dataflow::OutputStationary, r, c);
+        const Cycle expect = (2ull * r + c + gemm.k - 2)
+            * ceilDiv(gemm.m, r) * ceilDiv(gemm.n, c);
+        EXPECT_EQ(grid.totalCycles(), expect);
+    }
+    {
+        FoldGrid grid(gemm, Dataflow::WeightStationary, r, c);
+        const Cycle expect = (2ull * r + c + gemm.m - 2)
+            * ceilDiv(gemm.k, r) * ceilDiv(gemm.n, c);
+        EXPECT_EQ(grid.totalCycles(), expect);
+    }
+    {
+        FoldGrid grid(gemm, Dataflow::InputStationary, r, c);
+        const Cycle expect = (2ull * r + c + gemm.n - 2)
+            * ceilDiv(gemm.k, r) * ceilDiv(gemm.m, c);
+        EXPECT_EQ(grid.totalCycles(), expect);
+    }
+}
+
+TEST(FoldGrid, EdgeFoldTiles)
+{
+    const GemmDims gemm{33, 17, 100};
+    FoldGrid grid(gemm, Dataflow::OutputStationary, 16, 8);
+    EXPECT_EQ(grid.rowFolds(), 3u);
+    EXPECT_EQ(grid.colFolds(), 3u);
+    EXPECT_EQ(grid.tileRows(0), 16u);
+    EXPECT_EQ(grid.tileRows(2), 1u);
+    EXPECT_EQ(grid.tileCols(2), 1u);
+}
+
+TEST(FoldGrid, UtilizationBounds)
+{
+    for (auto df : {Dataflow::OutputStationary,
+                    Dataflow::WeightStationary,
+                    Dataflow::InputStationary}) {
+        FoldGrid grid({64, 64, 64}, df, 8, 8);
+        EXPECT_GT(grid.utilization(), 0.0);
+        EXPECT_LE(grid.utilization(), 1.0);
+        EXPECT_GT(grid.mappingEfficiency(), 0.0);
+        EXPECT_LE(grid.mappingEfficiency(), 1.0);
+    }
+}
+
+TEST(FoldGrid, PerfectFitMappingEfficiencyIsOne)
+{
+    FoldGrid grid({32, 32, 77}, Dataflow::OutputStationary, 16, 16);
+    EXPECT_DOUBLE_EQ(grid.mappingEfficiency(), 1.0);
+}
+
+TEST(FoldGrid, FoldTrafficConservation)
+{
+    // Summed over folds, stationary-operand traffic covers each element
+    // exactly once.
+    const GemmDims gemm{50, 30, 70};
+    {
+        FoldGrid grid(gemm, Dataflow::WeightStationary, 16, 8);
+        std::uint64_t filter_words = 0;
+        for (std::uint64_t rf = 0; rf < grid.rowFolds(); ++rf)
+            for (std::uint64_t cf = 0; cf < grid.colFolds(); ++cf)
+                filter_words += grid.foldTraffic(rf, cf).filterWords;
+        EXPECT_EQ(filter_words, gemm.k * gemm.n);
+    }
+    {
+        FoldGrid grid(gemm, Dataflow::InputStationary, 16, 8);
+        std::uint64_t ifmap_words = 0;
+        for (std::uint64_t rf = 0; rf < grid.rowFolds(); ++rf)
+            for (std::uint64_t cf = 0; cf < grid.colFolds(); ++cf)
+                ifmap_words += grid.foldTraffic(rf, cf).ifmapWords;
+        EXPECT_EQ(ifmap_words, gemm.k * gemm.m);
+    }
+    {
+        FoldGrid grid(gemm, Dataflow::OutputStationary, 16, 8);
+        std::uint64_t ofmap_words = 0;
+        for (std::uint64_t rf = 0; rf < grid.rowFolds(); ++rf)
+            for (std::uint64_t cf = 0; cf < grid.colFolds(); ++cf)
+                ofmap_words += grid.foldTraffic(rf, cf).ofmapWriteWords;
+        EXPECT_EQ(ofmap_words, gemm.m * gemm.n);
+    }
+}
+
+TEST(FoldGrid, SramAccessClosedForms)
+{
+    const GemmDims gemm{40, 24, 56};
+    {
+        FoldGrid grid(gemm, Dataflow::OutputStationary, 16, 8);
+        const auto counts = grid.sramAccessCounts();
+        EXPECT_EQ(counts.ifmapReads,
+                  gemm.m * gemm.k * grid.colFolds());
+        EXPECT_EQ(counts.filterReads,
+                  gemm.n * gemm.k * grid.rowFolds());
+        EXPECT_EQ(counts.ofmapWrites, gemm.m * gemm.n);
+        EXPECT_EQ(counts.ofmapReads, 0u);
+    }
+    {
+        FoldGrid grid(gemm, Dataflow::WeightStationary, 16, 8);
+        const auto counts = grid.sramAccessCounts();
+        EXPECT_EQ(counts.filterReads, gemm.k * gemm.n);
+        EXPECT_EQ(counts.ifmapReads,
+                  gemm.k * gemm.m * grid.colFolds());
+        EXPECT_EQ(counts.ofmapWrites,
+                  gemm.n * gemm.m * grid.rowFolds());
+        EXPECT_EQ(counts.ofmapReads,
+                  gemm.n * gemm.m * (grid.rowFolds() - 1));
+    }
+}
+
+TEST(BandwidthMemory, SerializesOnTheBus)
+{
+    BandwidthMemory mem(2.0); // 2 words per cycle
+    const Cycle first = mem.issueRead(0, 100, 0);
+    EXPECT_EQ(first, 50u);
+    // Second request can only start after the first drains.
+    const Cycle second = mem.issueRead(1000, 100, 0);
+    EXPECT_EQ(second, 100u);
+    // A later-issued request starts at its own time when the bus idles.
+    const Cycle third = mem.issueRead(2000, 10, 500);
+    EXPECT_EQ(third, 505u);
+    EXPECT_EQ(mem.stats().readRequests, 3u);
+    EXPECT_EQ(mem.stats().readWords, 210u);
+}
+
+TEST(BandwidthMemory, BaseLatencyAdds)
+{
+    BandwidthMemory mem(1.0, 40);
+    EXPECT_EQ(mem.issueRead(0, 10, 0), 50u);
+    BandwidthMemory mem2(1.0);
+    EXPECT_EQ(mem2.issueWrite(0, 10, 0), 10u);
+}
+
+TEST(BandwidthMemory, RejectsNonPositiveBandwidth)
+{
+    EXPECT_THROW(BandwidthMemory(0.0), FatalError);
+}
+
+TEST(RequestQueue, BlocksWhenFull)
+{
+    RequestQueue queue(2);
+    EXPECT_EQ(queue.slotAvailable(0), 0u);
+    queue.push(100);
+    queue.push(200);
+    // Full: next slot opens when the earliest entry retires.
+    EXPECT_EQ(queue.slotAvailable(10), 100u);
+    EXPECT_GT(queue.fullStallCycles(), 0u);
+    // After 100, one slot is free.
+    EXPECT_EQ(queue.slotAvailable(150), 150u);
+    EXPECT_EQ(queue.occupancy(), 1u);
+}
+
+TEST(RequestQueue, DrainRetiresCompleted)
+{
+    RequestQueue queue(4);
+    queue.push(10);
+    queue.push(20);
+    queue.push(30);
+    queue.drain(25);
+    EXPECT_EQ(queue.occupancy(), 1u);
+}
+
+TEST(Scratchpad, NoStallsWithAbundantBandwidth)
+{
+    const GemmDims gemm{64, 64, 64};
+    BandwidthMemory mem(1e9);
+    DoubleBufferedScratchpad spad(ScratchpadConfig{}, mem);
+    FoldGrid grid(gemm, Dataflow::OutputStationary, 16, 16);
+    const LayerTiming timing = spad.runLayer(grid, makeOperands(gemm));
+    EXPECT_EQ(timing.computeCycles, grid.totalCycles());
+    // Only the first fold's fill is exposed.
+    EXPECT_LT(timing.stallCycles, grid.foldCycles());
+}
+
+TEST(Scratchpad, TinyBandwidthStalls)
+{
+    const GemmDims gemm{64, 64, 64};
+    BandwidthMemory fast(100.0);
+    BandwidthMemory slow(0.1);
+    FoldGrid grid(gemm, Dataflow::OutputStationary, 16, 16);
+    DoubleBufferedScratchpad spad_fast(ScratchpadConfig{}, fast);
+    DoubleBufferedScratchpad spad_slow(ScratchpadConfig{}, slow);
+    const auto t_fast = spad_fast.runLayer(grid, makeOperands(gemm));
+    const auto t_slow = spad_slow.runLayer(grid, makeOperands(gemm));
+    EXPECT_GT(t_slow.stallCycles, t_fast.stallCycles);
+    EXPECT_GT(t_slow.totalCycles, t_fast.totalCycles);
+    EXPECT_EQ(t_slow.computeCycles, t_fast.computeCycles);
+}
+
+TEST(Scratchpad, LargerSramReducesTraffic)
+{
+    // WS re-streams the ifmap for every column fold; a big enough
+    // ifmap SRAM keeps it resident.
+    const GemmDims gemm{256, 64, 128};
+    BandwidthMemory mem_a(10.0), mem_b(10.0);
+    ScratchpadConfig small;
+    small.ifmapWords = 1024; // far below M*K
+    ScratchpadConfig big;
+    big.ifmapWords = 1024 * 1024;
+    FoldGrid grid(gemm, Dataflow::WeightStationary, 16, 16);
+    DoubleBufferedScratchpad spad_small(small, mem_a);
+    DoubleBufferedScratchpad spad_big(big, mem_b);
+    const auto t_small = spad_small.runLayer(grid, makeOperands(gemm));
+    const auto t_big = spad_big.runLayer(grid, makeOperands(gemm));
+    EXPECT_GT(t_small.dramReadWords, t_big.dramReadWords);
+}
+
+TEST(Scratchpad, ComputeScaleStretchesFolds)
+{
+    const GemmDims gemm{32, 32, 32};
+    BandwidthMemory mem(1e9);
+    DoubleBufferedScratchpad spad(ScratchpadConfig{}, mem);
+    FoldGrid grid(gemm, Dataflow::OutputStationary, 16, 16);
+    const auto base = spad.runLayer(grid, makeOperands(gemm), 0, 1.0);
+    spad.reset();
+    const auto scaled = spad.runLayer(grid, makeOperands(gemm), 0, 2.0);
+    EXPECT_NEAR(static_cast<double>(scaled.computeCycles),
+                2.0 * static_cast<double>(base.computeCycles),
+                static_cast<double>(grid.numFolds()));
+}
+
+TEST(Scratchpad, QueueStallsShrinkWithBiggerQueues)
+{
+    const GemmDims gemm{256, 128, 256};
+    BandwidthMemory mem_a(4.0, 200), mem_b(4.0, 200);
+    ScratchpadConfig small_q;
+    small_q.readQueueSize = 4;
+    ScratchpadConfig big_q;
+    big_q.readQueueSize = 512;
+    FoldGrid grid(gemm, Dataflow::OutputStationary, 32, 32);
+    DoubleBufferedScratchpad spad_a(small_q, mem_a);
+    DoubleBufferedScratchpad spad_b(big_q, mem_b);
+    const auto t_small = spad_a.runLayer(grid, makeOperands(gemm));
+    const auto t_big = spad_b.runLayer(grid, makeOperands(gemm));
+    EXPECT_GT(t_small.readQueueStalls, t_big.readQueueStalls);
+    EXPECT_GE(t_small.totalCycles, t_big.totalCycles);
+}
+
+TEST(Scratchpad, WriteTrafficMatchesOutputs)
+{
+    const GemmDims gemm{64, 48, 32};
+    BandwidthMemory mem(1e6);
+    DoubleBufferedScratchpad spad(ScratchpadConfig{}, mem);
+    FoldGrid grid(gemm, Dataflow::OutputStationary, 16, 16);
+    const auto timing = spad.runLayer(grid, makeOperands(gemm));
+    EXPECT_EQ(timing.dramWriteWords, gemm.m * gemm.n);
+}
+
+struct DataflowCase
+{
+    Dataflow df;
+};
+
+class ScratchpadAllDataflows
+    : public ::testing::TestWithParam<Dataflow>
+{
+};
+
+TEST_P(ScratchpadAllDataflows, TotalAtLeastCompute)
+{
+    const GemmDims gemm{120, 72, 96};
+    BandwidthMemory mem(8.0);
+    DoubleBufferedScratchpad spad(ScratchpadConfig{}, mem);
+    FoldGrid grid(gemm, GetParam(), 16, 8);
+    const auto timing = spad.runLayer(grid, makeOperands(gemm));
+    EXPECT_GE(timing.totalCycles, timing.computeCycles);
+    EXPECT_EQ(timing.totalCycles,
+              timing.computeCycles + timing.stallCycles);
+    EXPECT_GT(timing.dramReadWords, 0u);
+    EXPECT_GT(timing.dramWriteWords, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDataflows, ScratchpadAllDataflows,
+    ::testing::Values(Dataflow::OutputStationary,
+                      Dataflow::WeightStationary,
+                      Dataflow::InputStationary),
+    [](const auto& info) { return toString(info.param); });
+
+TEST(Scratchpad, ConvFootprintBelowIm2col)
+{
+    // With im2col addressing the DRAM ifmap traffic of a stride-1
+    // conv is bounded by the real tensor footprint per fetch, far
+    // below the expanded M*K words.
+    const LayerSpec layer = LayerSpec::conv("c", 28, 28, 3, 3, 32, 64,
+                                            1);
+    const GemmDims gemm = layer.toGemm();
+    MemoryConfig mem;
+    const OperandMap conv_ops = OperandMap::forLayer(layer, mem);
+    const OperandMap gemm_ops(gemm, mem);
+
+    BandwidthMemory mem_a(1e6), mem_b(1e6);
+    ScratchpadConfig tiny;
+    tiny.ifmapWords = 2048; // force streaming fetches
+    FoldGrid grid(gemm, Dataflow::WeightStationary, 16, 16);
+    DoubleBufferedScratchpad spad_conv(tiny, mem_a);
+    DoubleBufferedScratchpad spad_gemm(tiny, mem_b);
+    const auto conv_t = spad_conv.runLayer(grid, conv_ops);
+    const auto gemm_t = spad_gemm.runLayer(grid, gemm_ops);
+    EXPECT_LT(conv_t.dramReadWords, gemm_t.dramReadWords);
+    // The conv fetch can never exceed the whole tensor per k-fold.
+    EXPECT_LE(conv_t.dramReadWords,
+              conv_ops.ifmapWords() * grid.rowFolds()
+                  + gemm.k * gemm.n + gemm.m * gemm.n);
+}
+
+TEST(Scratchpad, ConvOneByOneMatchesGemmTraffic)
+{
+    const LayerSpec layer = LayerSpec::conv("c", 14, 14, 1, 1, 64, 32,
+                                            1);
+    const GemmDims gemm = layer.toGemm();
+    MemoryConfig mem;
+    const OperandMap conv_ops = OperandMap::forLayer(layer, mem);
+    const OperandMap gemm_ops(gemm, mem);
+    BandwidthMemory mem_a(1e6), mem_b(1e6);
+    FoldGrid grid(gemm, Dataflow::OutputStationary, 16, 16);
+    DoubleBufferedScratchpad spad_conv(ScratchpadConfig{}, mem_a);
+    DoubleBufferedScratchpad spad_gemm(ScratchpadConfig{}, mem_b);
+    const auto conv_t = spad_conv.runLayer(grid, conv_ops);
+    const auto gemm_t = spad_gemm.runLayer(grid, gemm_ops);
+    EXPECT_EQ(conv_t.dramReadWords, gemm_t.dramReadWords);
+    EXPECT_EQ(conv_t.totalCycles, gemm_t.totalCycles);
+}
+
+TEST(TraceIo, SramTraceRowsMatchActiveCycles)
+{
+    const GemmDims gemm{24, 16, 20};
+    std::ostringstream ifmap, filter, ofmap;
+    DemandGenerator gen(gemm, Dataflow::OutputStationary, 8, 8,
+                        makeOperands(gemm));
+    SramTraceWriter writer(&ifmap, &filter, &ofmap);
+    gen.run(writer);
+    EXPECT_GT(writer.rowsWritten(), 0u);
+    // Every line is "cycle, addr[, addr...]" with increasing cycles.
+    std::istringstream in(ifmap.str());
+    std::string line;
+    Cycle prev = 0;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        const auto cells = splitCsvLine(line);
+        ASSERT_GE(cells.size(), 2u);
+        const Cycle clk = std::stoull(cells[0]);
+        EXPECT_GE(clk, prev);
+        prev = clk;
+        ++lines;
+    }
+    EXPECT_GT(lines, 0u);
+}
+
+TEST(TraceIo, TracingMemoryRecordsEverything)
+{
+    BandwidthMemory inner(8.0);
+    TracingMemory tracer(inner, 2); // 2-byte words
+    tracer.issueRead(100, 32, 5);
+    tracer.issueWrite(200, 16, 9);
+    ASSERT_EQ(tracer.records().size(), 2u);
+    EXPECT_EQ(tracer.records()[0].byteAddr, 200u); // 100 * 2 bytes
+    EXPECT_EQ(tracer.records()[0].bytes, 64u);
+    EXPECT_FALSE(tracer.records()[0].write);
+    EXPECT_TRUE(tracer.records()[1].write);
+    EXPECT_EQ(tracer.stats().readWords, 32u);
+    // The inner memory saw the traffic too.
+    EXPECT_EQ(inner.stats().readWords, 32u);
+}
+
+TEST(TraceIo, MemTraceFileRoundTrip)
+{
+    std::vector<MemTraceRecord> records = {
+        {0, 0, 64, false},
+        {10, 4096, 64, true},
+        {27, 123456, 128, false},
+    };
+    std::ostringstream out;
+    writeMemTrace(out, records);
+    std::istringstream in(out.str());
+    const auto parsed = readMemTrace(in);
+    EXPECT_EQ(parsed, records);
+}
+
+TEST(TraceIo, MalformedTraceIsFatal)
+{
+    std::istringstream bad("1, 2\n");
+    EXPECT_THROW(readMemTrace(bad), FatalError);
+    std::istringstream bad_type("1, 2, 3, X\n");
+    EXPECT_THROW(readMemTrace(bad_type), FatalError);
+}
+
+TEST(TraceIo, ScratchpadTraceReplaysInDramSimulator)
+{
+    // End-to-end §V-B flow: record the scratchpad's memory trace, then
+    // replay it through the trace-driven DRAM API.
+    const GemmDims gemm{64, 32, 48};
+    BandwidthMemory inner(16.0);
+    TracingMemory tracer(inner, 1);
+    DoubleBufferedScratchpad spad(ScratchpadConfig{}, tracer);
+    FoldGrid grid(gemm, Dataflow::WeightStationary, 16, 16);
+    spad.runLayer(grid, makeOperands(gemm));
+    ASSERT_FALSE(tracer.records().empty());
+    // Monotone non-decreasing request cycles (§V-B step 1 property).
+    for (std::size_t i = 1; i < tracer.records().size(); ++i) {
+        // Reads within a fold are monotone; writebacks may rewind to
+        // the fold tail, so only check the global span is sane.
+        EXPECT_LE(tracer.records()[i].cycle, 1u << 30);
+    }
+}
+
+/** Scratchpad conservation sweep: dataflow x SRAM budget. */
+class ScratchpadConservation
+    : public ::testing::TestWithParam<
+          std::tuple<Dataflow, std::uint64_t>>
+{
+};
+
+TEST_P(ScratchpadConservation, WritesCoverOutputsOnce)
+{
+    // With partial sums kept on-chip (big ofmap SRAM), total DRAM
+    // write traffic equals exactly M x N for every dataflow.
+    const auto [df, sram_words] = GetParam();
+    const GemmDims gemm{96, 48, 80};
+    BandwidthMemory mem(1e6);
+    ScratchpadConfig cfg;
+    cfg.ifmapWords = sram_words;
+    cfg.filterWords = sram_words;
+    cfg.ofmapWords = 1 << 20; // partials never spill
+    DoubleBufferedScratchpad spad(cfg, mem);
+    FoldGrid grid(gemm, df, 16, 16);
+    const auto timing = spad.runLayer(grid, makeOperands(gemm));
+    EXPECT_EQ(timing.dramWriteWords, gemm.m * gemm.n);
+    // Reads are bounded below by the unique operand footprints.
+    EXPECT_GE(timing.dramReadWords, gemm.m * gemm.k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScratchpadConservation,
+    ::testing::Combine(
+        ::testing::Values(Dataflow::OutputStationary,
+                          Dataflow::WeightStationary,
+                          Dataflow::InputStationary),
+        ::testing::Values(4096ull, 65536ull, 1048576ull)),
+    [](const auto& info) {
+        return toString(std::get<0>(info.param))
+            + format("_s%llu",
+                     (unsigned long long)std::get<1>(info.param));
+    });
+
+TEST(Scratchpad, HugeSramFetchesUniqueFootprintOnly)
+{
+    // When everything fits, total reads equal the unique operand
+    // words (plus nothing else), independent of dataflow.
+    const GemmDims gemm{60, 44, 52};
+    for (auto df : {Dataflow::OutputStationary,
+                    Dataflow::WeightStationary,
+                    Dataflow::InputStationary}) {
+        BandwidthMemory mem(1e6);
+        ScratchpadConfig cfg;
+        cfg.ifmapWords = 1 << 22;
+        cfg.filterWords = 1 << 22;
+        cfg.ofmapWords = 1 << 22;
+        DoubleBufferedScratchpad spad(cfg, mem);
+        FoldGrid grid(gemm, df, 16, 16);
+        const auto timing = spad.runLayer(grid, makeOperands(gemm));
+        EXPECT_EQ(timing.dramReadWords, gemm.m * gemm.k
+                  + gemm.k * gemm.n) << toString(df);
+    }
+}
+
+TEST(Scratchpad, PrefetchDepthZeroRejected)
+{
+    BandwidthMemory mem(1.0);
+    ScratchpadConfig cfg;
+    cfg.prefetchDepth = 0;
+    EXPECT_THROW(DoubleBufferedScratchpad(cfg, mem), FatalError);
+}
