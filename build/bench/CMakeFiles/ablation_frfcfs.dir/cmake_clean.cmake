@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_frfcfs.dir/ablation_frfcfs.cpp.o"
+  "CMakeFiles/ablation_frfcfs.dir/ablation_frfcfs.cpp.o.d"
+  "ablation_frfcfs"
+  "ablation_frfcfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_frfcfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

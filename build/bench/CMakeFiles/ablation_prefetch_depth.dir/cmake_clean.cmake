@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prefetch_depth.dir/ablation_prefetch_depth.cpp.o"
+  "CMakeFiles/ablation_prefetch_depth.dir/ablation_prefetch_depth.cpp.o.d"
+  "ablation_prefetch_depth"
+  "ablation_prefetch_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefetch_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shared_l2.dir/ablation_shared_l2.cpp.o"
+  "CMakeFiles/ablation_shared_l2.dir/ablation_shared_l2.cpp.o.d"
+  "ablation_shared_l2"
+  "ablation_shared_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shared_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_partitioning.dir/fig03_partitioning.cpp.o"
+  "CMakeFiles/fig03_partitioning.dir/fig03_partitioning.cpp.o.d"
+  "fig03_partitioning"
+  "fig03_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig05_sparse_memory.cpp" "bench/CMakeFiles/fig05_sparse_memory.dir/fig05_sparse_memory.cpp.o" "gcc" "bench/CMakeFiles/fig05_sparse_memory.dir/fig05_sparse_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scalesim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/scalesim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/scalesim_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/scalesim_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicore/CMakeFiles/scalesim_multicore.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/scalesim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/scalesim_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scalesim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_sparse_memory.dir/fig05_sparse_memory.cpp.o"
+  "CMakeFiles/fig05_sparse_memory.dir/fig05_sparse_memory.cpp.o.d"
+  "fig05_sparse_memory"
+  "fig05_sparse_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_sparse_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_request_queues.dir/fig10_request_queues.cpp.o"
+  "CMakeFiles/fig10_request_queues.dir/fig10_request_queues.cpp.o.d"
+  "fig10_request_queues"
+  "fig10_request_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_request_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_layout_resnet.dir/fig12_layout_resnet.cpp.o"
+  "CMakeFiles/fig12_layout_resnet.dir/fig12_layout_resnet.cpp.o.d"
+  "fig12_layout_resnet"
+  "fig12_layout_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_layout_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

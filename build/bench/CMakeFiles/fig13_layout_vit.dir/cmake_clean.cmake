@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_layout_vit.dir/fig13_layout_vit.cpp.o"
+  "CMakeFiles/fig13_layout_vit.dir/fig13_layout_vit.cpp.o.d"
+  "fig13_layout_vit"
+  "fig13_layout_vit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_layout_vit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_energy_dataflow.dir/fig15_energy_dataflow.cpp.o"
+  "CMakeFiles/fig15_energy_dataflow.dir/fig15_energy_dataflow.cpp.o.d"
+  "fig15_energy_dataflow"
+  "fig15_energy_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_energy_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secIXb_dram_dataflow.dir/secIXb_dram_dataflow.cpp.o"
+  "CMakeFiles/secIXb_dram_dataflow.dir/secIXb_dram_dataflow.cpp.o.d"
+  "secIXb_dram_dataflow"
+  "secIXb_dram_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secIXb_dram_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

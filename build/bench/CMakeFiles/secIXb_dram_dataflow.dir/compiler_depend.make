@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for secIXb_dram_dataflow.
+# This may be replaced when dependencies are built.

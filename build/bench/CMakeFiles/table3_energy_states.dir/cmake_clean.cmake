@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_energy_states.dir/table3_energy_states.cpp.o"
+  "CMakeFiles/table3_energy_states.dir/table3_energy_states.cpp.o.d"
+  "table3_energy_states"
+  "table3_energy_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_energy_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_sim_overhead.dir/table4_sim_overhead.cpp.o"
+  "CMakeFiles/table4_sim_overhead.dir/table4_sim_overhead.cpp.o.d"
+  "table4_sim_overhead"
+  "table4_sim_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sim_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

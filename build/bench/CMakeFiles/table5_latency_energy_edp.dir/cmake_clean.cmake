@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_latency_energy_edp.dir/table5_latency_energy_edp.cpp.o"
+  "CMakeFiles/table5_latency_energy_edp.dir/table5_latency_energy_edp.cpp.o.d"
+  "table5_latency_energy_edp"
+  "table5_latency_energy_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_latency_energy_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

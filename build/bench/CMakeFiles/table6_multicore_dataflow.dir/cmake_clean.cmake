@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_multicore_dataflow.dir/table6_multicore_dataflow.cpp.o"
+  "CMakeFiles/table6_multicore_dataflow.dir/table6_multicore_dataflow.cpp.o.d"
+  "table6_multicore_dataflow"
+  "table6_multicore_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_multicore_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

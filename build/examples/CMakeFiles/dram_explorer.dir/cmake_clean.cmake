@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_explorer.dir/dram_explorer.cpp.o"
+  "CMakeFiles/dram_explorer.dir/dram_explorer.cpp.o.d"
+  "dram_explorer"
+  "dram_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

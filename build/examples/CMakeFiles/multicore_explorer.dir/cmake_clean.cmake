@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_explorer.dir/multicore_explorer.cpp.o"
+  "CMakeFiles/multicore_explorer.dir/multicore_explorer.cpp.o.d"
+  "multicore_explorer"
+  "multicore_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

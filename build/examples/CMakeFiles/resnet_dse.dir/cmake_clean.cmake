@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_dse.dir/resnet_dse.cpp.o"
+  "CMakeFiles/resnet_dse.dir/resnet_dse.cpp.o.d"
+  "resnet_dse"
+  "resnet_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

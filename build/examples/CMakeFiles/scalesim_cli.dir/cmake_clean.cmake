@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalesim_cli.dir/scalesim_cli.cpp.o"
+  "CMakeFiles/scalesim_cli.dir/scalesim_cli.cpp.o.d"
+  "scalesim_cli"
+  "scalesim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalesim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

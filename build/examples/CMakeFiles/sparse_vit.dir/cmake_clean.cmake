@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_vit.dir/sparse_vit.cpp.o"
+  "CMakeFiles/sparse_vit.dir/sparse_vit.cpp.o.d"
+  "sparse_vit"
+  "sparse_vit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_vit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalesim_common.dir/config.cpp.o"
+  "CMakeFiles/scalesim_common.dir/config.cpp.o.d"
+  "CMakeFiles/scalesim_common.dir/csv.cpp.o"
+  "CMakeFiles/scalesim_common.dir/csv.cpp.o.d"
+  "CMakeFiles/scalesim_common.dir/log.cpp.o"
+  "CMakeFiles/scalesim_common.dir/log.cpp.o.d"
+  "CMakeFiles/scalesim_common.dir/topology.cpp.o"
+  "CMakeFiles/scalesim_common.dir/topology.cpp.o.d"
+  "CMakeFiles/scalesim_common.dir/types.cpp.o"
+  "CMakeFiles/scalesim_common.dir/types.cpp.o.d"
+  "CMakeFiles/scalesim_common.dir/workloads.cpp.o"
+  "CMakeFiles/scalesim_common.dir/workloads.cpp.o.d"
+  "libscalesim_common.a"
+  "libscalesim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalesim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalesim_core.dir/dse.cpp.o"
+  "CMakeFiles/scalesim_core.dir/dse.cpp.o.d"
+  "CMakeFiles/scalesim_core.dir/simulator.cpp.o"
+  "CMakeFiles/scalesim_core.dir/simulator.cpp.o.d"
+  "libscalesim_core.a"
+  "libscalesim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalesim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

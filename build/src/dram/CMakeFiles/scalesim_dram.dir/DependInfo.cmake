@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/controller.cpp" "src/dram/CMakeFiles/scalesim_dram.dir/controller.cpp.o" "gcc" "src/dram/CMakeFiles/scalesim_dram.dir/controller.cpp.o.d"
+  "/root/repo/src/dram/system.cpp" "src/dram/CMakeFiles/scalesim_dram.dir/system.cpp.o" "gcc" "src/dram/CMakeFiles/scalesim_dram.dir/system.cpp.o.d"
+  "/root/repo/src/dram/timing.cpp" "src/dram/CMakeFiles/scalesim_dram.dir/timing.cpp.o" "gcc" "src/dram/CMakeFiles/scalesim_dram.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scalesim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/scalesim_systolic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

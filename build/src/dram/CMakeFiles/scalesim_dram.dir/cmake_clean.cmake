@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalesim_dram.dir/controller.cpp.o"
+  "CMakeFiles/scalesim_dram.dir/controller.cpp.o.d"
+  "CMakeFiles/scalesim_dram.dir/system.cpp.o"
+  "CMakeFiles/scalesim_dram.dir/system.cpp.o.d"
+  "CMakeFiles/scalesim_dram.dir/timing.cpp.o"
+  "CMakeFiles/scalesim_dram.dir/timing.cpp.o.d"
+  "libscalesim_dram.a"
+  "libscalesim_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalesim_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalesim_energy.dir/action_counts.cpp.o"
+  "CMakeFiles/scalesim_energy.dir/action_counts.cpp.o.d"
+  "CMakeFiles/scalesim_energy.dir/ert.cpp.o"
+  "CMakeFiles/scalesim_energy.dir/ert.cpp.o.d"
+  "CMakeFiles/scalesim_energy.dir/model.cpp.o"
+  "CMakeFiles/scalesim_energy.dir/model.cpp.o.d"
+  "libscalesim_energy.a"
+  "libscalesim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalesim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalesim_layout.dir/layout.cpp.o"
+  "CMakeFiles/scalesim_layout.dir/layout.cpp.o.d"
+  "libscalesim_layout.a"
+  "libscalesim_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalesim_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multicore/nop.cpp" "src/multicore/CMakeFiles/scalesim_multicore.dir/nop.cpp.o" "gcc" "src/multicore/CMakeFiles/scalesim_multicore.dir/nop.cpp.o.d"
+  "/root/repo/src/multicore/partition.cpp" "src/multicore/CMakeFiles/scalesim_multicore.dir/partition.cpp.o" "gcc" "src/multicore/CMakeFiles/scalesim_multicore.dir/partition.cpp.o.d"
+  "/root/repo/src/multicore/shared_l2.cpp" "src/multicore/CMakeFiles/scalesim_multicore.dir/shared_l2.cpp.o" "gcc" "src/multicore/CMakeFiles/scalesim_multicore.dir/shared_l2.cpp.o.d"
+  "/root/repo/src/multicore/system.cpp" "src/multicore/CMakeFiles/scalesim_multicore.dir/system.cpp.o" "gcc" "src/multicore/CMakeFiles/scalesim_multicore.dir/system.cpp.o.d"
+  "/root/repo/src/multicore/tensor_core.cpp" "src/multicore/CMakeFiles/scalesim_multicore.dir/tensor_core.cpp.o" "gcc" "src/multicore/CMakeFiles/scalesim_multicore.dir/tensor_core.cpp.o.d"
+  "/root/repo/src/multicore/trace_sim.cpp" "src/multicore/CMakeFiles/scalesim_multicore.dir/trace_sim.cpp.o" "gcc" "src/multicore/CMakeFiles/scalesim_multicore.dir/trace_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scalesim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/scalesim_systolic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

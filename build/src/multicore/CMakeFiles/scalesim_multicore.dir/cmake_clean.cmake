@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalesim_multicore.dir/nop.cpp.o"
+  "CMakeFiles/scalesim_multicore.dir/nop.cpp.o.d"
+  "CMakeFiles/scalesim_multicore.dir/partition.cpp.o"
+  "CMakeFiles/scalesim_multicore.dir/partition.cpp.o.d"
+  "CMakeFiles/scalesim_multicore.dir/shared_l2.cpp.o"
+  "CMakeFiles/scalesim_multicore.dir/shared_l2.cpp.o.d"
+  "CMakeFiles/scalesim_multicore.dir/system.cpp.o"
+  "CMakeFiles/scalesim_multicore.dir/system.cpp.o.d"
+  "CMakeFiles/scalesim_multicore.dir/tensor_core.cpp.o"
+  "CMakeFiles/scalesim_multicore.dir/tensor_core.cpp.o.d"
+  "CMakeFiles/scalesim_multicore.dir/trace_sim.cpp.o"
+  "CMakeFiles/scalesim_multicore.dir/trace_sim.cpp.o.d"
+  "libscalesim_multicore.a"
+  "libscalesim_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalesim_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscalesim_multicore.a"
+)

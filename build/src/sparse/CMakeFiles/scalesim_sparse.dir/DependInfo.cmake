@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/formats.cpp" "src/sparse/CMakeFiles/scalesim_sparse.dir/formats.cpp.o" "gcc" "src/sparse/CMakeFiles/scalesim_sparse.dir/formats.cpp.o.d"
+  "/root/repo/src/sparse/model.cpp" "src/sparse/CMakeFiles/scalesim_sparse.dir/model.cpp.o" "gcc" "src/sparse/CMakeFiles/scalesim_sparse.dir/model.cpp.o.d"
+  "/root/repo/src/sparse/pattern.cpp" "src/sparse/CMakeFiles/scalesim_sparse.dir/pattern.cpp.o" "gcc" "src/sparse/CMakeFiles/scalesim_sparse.dir/pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scalesim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/scalesim_systolic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalesim_sparse.dir/formats.cpp.o"
+  "CMakeFiles/scalesim_sparse.dir/formats.cpp.o.d"
+  "CMakeFiles/scalesim_sparse.dir/model.cpp.o"
+  "CMakeFiles/scalesim_sparse.dir/model.cpp.o.d"
+  "CMakeFiles/scalesim_sparse.dir/pattern.cpp.o"
+  "CMakeFiles/scalesim_sparse.dir/pattern.cpp.o.d"
+  "libscalesim_sparse.a"
+  "libscalesim_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalesim_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

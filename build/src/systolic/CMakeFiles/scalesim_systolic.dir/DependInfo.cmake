@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systolic/demand.cpp" "src/systolic/CMakeFiles/scalesim_systolic.dir/demand.cpp.o" "gcc" "src/systolic/CMakeFiles/scalesim_systolic.dir/demand.cpp.o.d"
+  "/root/repo/src/systolic/mapping.cpp" "src/systolic/CMakeFiles/scalesim_systolic.dir/mapping.cpp.o" "gcc" "src/systolic/CMakeFiles/scalesim_systolic.dir/mapping.cpp.o.d"
+  "/root/repo/src/systolic/memory.cpp" "src/systolic/CMakeFiles/scalesim_systolic.dir/memory.cpp.o" "gcc" "src/systolic/CMakeFiles/scalesim_systolic.dir/memory.cpp.o.d"
+  "/root/repo/src/systolic/scratchpad.cpp" "src/systolic/CMakeFiles/scalesim_systolic.dir/scratchpad.cpp.o" "gcc" "src/systolic/CMakeFiles/scalesim_systolic.dir/scratchpad.cpp.o.d"
+  "/root/repo/src/systolic/trace_io.cpp" "src/systolic/CMakeFiles/scalesim_systolic.dir/trace_io.cpp.o" "gcc" "src/systolic/CMakeFiles/scalesim_systolic.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scalesim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalesim_systolic.dir/demand.cpp.o"
+  "CMakeFiles/scalesim_systolic.dir/demand.cpp.o.d"
+  "CMakeFiles/scalesim_systolic.dir/mapping.cpp.o"
+  "CMakeFiles/scalesim_systolic.dir/mapping.cpp.o.d"
+  "CMakeFiles/scalesim_systolic.dir/memory.cpp.o"
+  "CMakeFiles/scalesim_systolic.dir/memory.cpp.o.d"
+  "CMakeFiles/scalesim_systolic.dir/scratchpad.cpp.o"
+  "CMakeFiles/scalesim_systolic.dir/scratchpad.cpp.o.d"
+  "CMakeFiles/scalesim_systolic.dir/trace_io.cpp.o"
+  "CMakeFiles/scalesim_systolic.dir/trace_io.cpp.o.d"
+  "libscalesim_systolic.a"
+  "libscalesim_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalesim_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

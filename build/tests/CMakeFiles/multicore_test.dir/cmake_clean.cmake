@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_test.dir/multicore_test.cpp.o"
+  "CMakeFiles/multicore_test.dir/multicore_test.cpp.o.d"
+  "multicore_test"
+  "multicore_test.pdb"
+  "multicore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
