@@ -11,8 +11,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
+
+#include "common/parallel.hpp"
 
 namespace benchutil
 {
@@ -85,6 +89,37 @@ class Timer
     using clock = std::chrono::steady_clock;
     clock::time_point start_;
 };
+
+/**
+ * Worker threads for the bench's config points, from `--jobs N` (or
+ * `-j N`) on the command line; `fallback` when absent. N = 0 means
+ * auto (SCALESIM_JOBS env var, then hardware concurrency).
+ */
+inline unsigned
+jobsFromArgs(int argc, char** argv, unsigned fallback = 1)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" || arg == "-j") {
+            const long parsed = std::strtol(argv[i + 1], nullptr, 10);
+            return parsed >= 0 ? static_cast<unsigned>(parsed)
+                               : fallback;
+        }
+    }
+    return fallback;
+}
+
+/**
+ * Evaluate `n` independent config points on up to `jobs` threads.
+ * Each point must own its simulator state and store results by index;
+ * with that discipline the output is identical for every jobs value.
+ */
+inline void
+forEachPoint(std::uint64_t n, unsigned jobs,
+             const std::function<void(std::uint64_t)>& body)
+{
+    scalesim::parallelFor(n, jobs, body);
+}
 
 } // namespace benchutil
 

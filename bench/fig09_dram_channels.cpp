@@ -25,16 +25,22 @@ struct LayerThroughput
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     setQuiet(true);
+    const unsigned jobs = benchutil::jobsFromArgs(argc, argv, 1);
     std::printf("=== Fig. 9: memory throughput (MB/s) vs DRAM "
                 "channels, ResNet-18, TPU config ===\n");
     const std::uint32_t channel_counts[] = {1, 2, 4, 8};
     const Topology topo = workloads::resnet18();
     std::vector<LayerThroughput> rows(topo.layers.size());
+    for (std::size_t i = 0; i < topo.layers.size(); ++i)
+        rows[i].name = topo.layers[i].name;
 
-    for (int ci = 0; ci < 4; ++ci) {
+    // One config point per channel count; each point owns its
+    // Simulator and writes a distinct mbps column, so the table is
+    // identical for every --jobs value.
+    benchutil::forEachPoint(4, jobs, [&](std::uint64_t ci) {
         SimConfig cfg = SimConfig::tpuMemoryStudy();
         cfg.mode = SimMode::Analytical;
         cfg.dram.channels = channel_counts[ci];
@@ -46,7 +52,6 @@ main()
         const core::RunResult run = sim.run(topo);
         for (std::size_t i = 0; i < run.layers.size(); ++i) {
             const auto& l = run.layers[i];
-            rows[i].name = l.name;
             const double seconds = static_cast<double>(l.totalCycles)
                 / (cfg.dram.coreClockMhz * 1e6);
             const double bytes = static_cast<double>(
@@ -54,7 +59,7 @@ main()
                 * cfg.memory.wordBytes;
             rows[i].mbps[ci] = bytes / seconds / 1e6;
         }
-    }
+    });
 
     benchutil::Table table({10, 12, 12, 12, 12, 10});
     table.row({"layer", "1ch", "2ch", "4ch", "8ch", "8ch/1ch"});

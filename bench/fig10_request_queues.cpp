@@ -43,23 +43,40 @@ runWith(const Topology& topo, std::uint32_t queue_size)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     setQuiet(true);
+    const unsigned jobs = benchutil::jobsFromArgs(argc, argv, 1);
     std::printf("=== Fig. 10: memory stalls vs request queue size "
                 "(32 / 128 / 512) ===\n");
     const char* names[] = {"alexnet", "resnet18", "vit_small"};
+    constexpr std::uint32_t queue_sizes[] = {32, 128, 512};
+    constexpr int kWorkloads = 3;
+    constexpr int kQueues = 3;
+
+    // 3 workloads x 3 queue sizes = 9 independent config points.
+    std::vector<core::RunResult> results(
+        static_cast<std::size_t>(kWorkloads) * kQueues);
+    benchutil::forEachPoint(results.size(), jobs,
+                            [&](std::uint64_t i) {
+        const Topology topo = workloads::byName(
+            names[i / kQueues]);
+        results[i] = runWith(topo, queue_sizes[i % kQueues]);
+    });
+
     benchutil::Table table({10, 22, 22, 22});
     table.row({"workload", "q32 total(stall%)", "q128 total(stall%)",
                "q512 total(stall%)"});
     table.rule();
     double ratio_32_128 = 0.0;
     double gain_128_512 = 0.0;
-    for (const char* name : names) {
-        const Topology topo = workloads::byName(name);
-        const auto r32 = runWith(topo, 32);
-        const auto r128 = runWith(topo, 128);
-        const auto r512 = runWith(topo, 512);
+    for (int w = 0; w < kWorkloads; ++w) {
+        const char* name = names[w];
+        const auto& r32 = results[static_cast<std::size_t>(w) * kQueues];
+        const auto& r128 = results[
+            static_cast<std::size_t>(w) * kQueues + 1];
+        const auto& r512 = results[
+            static_cast<std::size_t>(w) * kQueues + 2];
         auto cell = [](const core::RunResult& r) {
             const double stall_pct = 100.0
                 * static_cast<double>(r.stallCycles)

@@ -10,10 +10,18 @@
  * substitute), detailed DRAM (Ramulator substitute), and layout.
  * Expected shape: sparsity < 1x (compressed runs are faster),
  * DRAM/multi-core/energy >= ~1x, layout the largest.
+ *
+ * Times come from the simulator's own SimProfiler instrumentation
+ * (per-phase wall-clock threaded through Simulator::runLayer), not
+ * from external stopwatches. Pass `--jobs N` to spread the
+ * (workload x feature) config points over N worker threads — each
+ * point owns its Simulator, so the measured ratios are unchanged
+ * while the bench's wall-clock shrinks.
  */
 
 #include "bench_util.hpp"
 #include "common/log.hpp"
+#include "common/profiler.hpp"
 #include "common/workloads.hpp"
 #include "core/simulator.hpp"
 #include "multicore/system.hpp"
@@ -33,14 +41,14 @@ tpuConfig()
 }
 
 /** v2-equivalent baseline: demand generation + timing, no features. */
-double
-baselineSeconds(const Topology& topo)
+SimProfile
+baselineProfile(const Topology& topo)
 {
-    benchutil::Timer timer;
+    SimProfiler profiler;
     const SimConfig cfg = tpuConfig();
-    core::Simulator sim(cfg);
     // The plain simulator skips the demand pass without consumers;
     // drive it explicitly to mirror v2's trace generation.
+    benchutil::Timer demand_timer;
     for (const auto& layer : topo.layers) {
         const GemmDims gemm = layer.toGemm();
         const systolic::OperandMap operands(gemm, cfg.memory);
@@ -49,17 +57,20 @@ baselineSeconds(const Topology& topo)
         systolic::CountingVisitor counter;
         gen.run(counter);
     }
+    profiler.chargeExternal(SimPhase::DemandGen,
+                            demand_timer.seconds());
     core::Simulator timing_sim(cfg);
-    timing_sim.run(topo);
-    return timer.seconds();
+    profiler.merge(timing_sim.run(topo).profile);
+    return profiler.snapshot();
 }
 
-double
-featureSeconds(const Topology& topo, const char* feature)
+SimProfile
+featureProfile(const Topology& topo, const char* feature)
 {
-    benchutil::Timer timer;
+    SimProfiler profiler;
     const std::string what(feature);
     if (what == "multicore") {
+        benchutil::Timer search_timer;
         multicore::TensorCoreConfig core;
         core.arrayRows = core.arrayCols = 32;
         for (auto scheme : {multicore::PartitionScheme::Spatial,
@@ -78,20 +89,20 @@ featureSeconds(const Topology& topo, const char* feature)
                 sim.runGemm(gemm, Dataflow::WeightStationary);
             }
         }
+        profiler.chargeOther(search_timer.seconds());
         // Plus the baseline timing pass the run still performs.
         core::Simulator sim(tpuConfig());
-        sim.run(topo);
-        return timer.seconds();
+        profiler.merge(sim.run(topo).profile);
+        return profiler.snapshot();
     }
     SimConfig cfg = tpuConfig();
     if (what == "sparse24" || what == "sparse14") {
         cfg.sparsity.enabled = true;
         Topology annotated = workloads::withUniformSparsity(
             topo, what == "sparse24" ? 2 : 1, 4);
-        core::Simulator sim(cfg);
+        benchutil::Timer demand_timer;
         for (const auto& layer : annotated.layers) {
             sparse::SparseLayerModel model(layer, cfg.sparsity);
-            const GemmDims gemm = model.effectiveGemm();
             const systolic::OperandMap operands(layer.toGemm(),
                                                 cfg.memory);
             systolic::DemandGenerator gen(
@@ -100,16 +111,19 @@ featureSeconds(const Topology& topo, const char* feature)
                 model.active() ? &model.pattern() : nullptr);
             systolic::CountingVisitor counter;
             gen.run(counter);
-            (void)gemm;
         }
-        sim.run(annotated);
-        return timer.seconds();
+        profiler.chargeExternal(SimPhase::DemandGen,
+                                demand_timer.seconds());
+        core::Simulator sim(cfg);
+        profiler.merge(sim.run(annotated).profile);
+        return profiler.snapshot();
     }
     if (what == "energy") {
         cfg.energy.enabled = true;
     } else if (what == "dram") {
         cfg.dram.enabled = true;
         // DRAM runs atop the baseline's demand generation.
+        benchutil::Timer demand_timer;
         for (const auto& layer : topo.layers) {
             const GemmDims gemm = layer.toGemm();
             const systolic::OperandMap operands(gemm, cfg.memory);
@@ -119,51 +133,76 @@ featureSeconds(const Topology& topo, const char* feature)
             systolic::CountingVisitor counter;
             gen.run(counter);
         }
+        profiler.chargeExternal(SimPhase::DemandGen,
+                                demand_timer.seconds());
     } else if (what == "layout") {
         cfg.layout.enabled = true;
         cfg.layout.banks = 32;
         cfg.layout.onChipBandwidth = 256;
     }
     core::Simulator sim(cfg);
-    sim.run(topo);
-    return timer.seconds();
+    profiler.merge(sim.run(topo).profile);
+    return profiler.snapshot();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     setQuiet(true);
+    const unsigned jobs = benchutil::jobsFromArgs(argc, argv, 1);
     std::printf("=== Table IV: simulation-time overhead vs v2-style "
-                "baseline (TPU-v2-like config) ===\n");
+                "baseline (TPU-v2-like config, jobs=%u) ===\n",
+                resolveJobs(jobs));
     const char* workload_names[] = {"alexnet", "resnet18", "vit_large",
                                     "vit_small"};
     const char* features[] = {"multicore", "sparse24", "sparse14",
                               "energy", "dram", "layout"};
-    const char* feature_labels[] = {"Multi-core", "Sparsity 2:4",
-                                    "Sparsity 1:4", "Accelergy",
-                                    "Ramulator", "Layout"};
+    constexpr int kWorkloads = 4;
+    constexpr int kFeatures = 6;
+
+    // One config point per (workload, baseline-or-feature) pair; each
+    // point measures itself through SimProfiler and stores its profile
+    // by index, so any --jobs value prints the same table rows.
+    constexpr int kPerWorkload = 1 + kFeatures;
+    benchutil::Timer wall;
+    std::vector<SimProfile> profiles(
+        static_cast<std::size_t>(kWorkloads) * kPerWorkload);
+    benchutil::forEachPoint(profiles.size(), jobs,
+                            [&](std::uint64_t i) {
+        const int w = static_cast<int>(i) / kPerWorkload;
+        const int f = static_cast<int>(i) % kPerWorkload;
+        const Topology topo = workloads::byName(workload_names[w]);
+        profiles[i] = f == 0 ? baselineProfile(topo)
+                             : featureProfile(topo, features[f - 1]);
+    });
+    const double wall_seconds = wall.seconds();
 
     benchutil::Table table({10, 11, 13, 13, 11, 11, 8});
     table.row({"Workload", "Multi-core", "Sparse 2:4", "Sparse 1:4",
                "Energy", "DRAM", "Layout"});
     table.rule();
-    double mean[6] = {};
-    for (const char* name : workload_names) {
-        const Topology topo = workloads::byName(name);
-        const double base = baselineSeconds(topo);
-        std::vector<std::string> row = {name};
-        for (int f = 0; f < 6; ++f) {
-            const double secs = featureSeconds(topo, features[f]);
-            const double overhead = secs / std::max(base, 1e-9);
+    double mean[kFeatures] = {};
+    SimProfile aggregate;
+    for (int w = 0; w < kWorkloads; ++w) {
+        const SimProfile& base = profiles[
+            static_cast<std::size_t>(w) * kPerWorkload];
+        std::vector<std::string> row = {workload_names[w]};
+        for (int f = 0; f < kFeatures; ++f) {
+            const SimProfile& feat = profiles[
+                static_cast<std::size_t>(w) * kPerWorkload + 1 + f];
+            const double overhead = feat.totalSeconds
+                / std::max(base.totalSeconds, 1e-9);
             mean[f] += overhead;
             row.push_back(benchutil::fmt("%.2fx", overhead));
+            aggregate.merge(feat);
         }
+        aggregate.merge(base);
         table.row(row);
     }
     std::vector<std::string> mean_row = {"Mean"};
-    for (int f = 0; f < 6; ++f)
+    for (int f = 0; f < kFeatures; ++f)
         mean_row.push_back(benchutil::fmt("%.2fx", mean[f] / 4.0));
     table.rule();
     table.row(mean_row);
@@ -171,6 +210,20 @@ main()
                 "0.29x, Accelergy 1.19x, Ramulator 2.13x, Layout "
                 "16.03x; %s)\n",
                 "shape target: sparsity < 1x, layout largest");
-    (void)feature_labels;
+
+    std::printf("\nself-profiled phase totals across all %zu points "
+                "(SimProfiler):\n", profiles.size());
+    for (unsigned p = 0; p < kNumSimPhases; ++p) {
+        const auto phase = static_cast<SimPhase>(p);
+        std::printf("  %-12s %10.3f s\n", toString(phase),
+                    aggregate.seconds(phase));
+    }
+    std::printf("  %-12s %10.3f s\n", "other", aggregate.otherSeconds());
+    std::printf("  %-12s %10.3f s  (sum of per-point simulate time)\n",
+                "total", aggregate.totalSeconds);
+    std::printf("  %-12s %10llu KiB (process peak RSS)\n", "peakRss",
+                static_cast<unsigned long long>(aggregate.peakRssKb));
+    std::printf("bench wall-clock: %.3f s at jobs=%u\n", wall_seconds,
+                resolveJobs(jobs));
     return 0;
 }

@@ -8,10 +8,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 #include "common/workloads.hpp"
 #include "core/dse.hpp"
 #include "core/simulator.hpp"
@@ -33,31 +35,42 @@ struct Design
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     setQuiet(true);
-    const Topology topo = workloads::resnet18();
-    std::vector<Design> designs;
-
-    for (std::uint32_t array : {16u, 32u, 64u, 128u}) {
-        for (auto df : {Dataflow::OutputStationary,
-                        Dataflow::WeightStationary,
-                        Dataflow::InputStationary}) {
-            SimConfig cfg;
-            cfg.arrayRows = cfg.arrayCols = array;
-            cfg.dataflow = df;
-            cfg.mode = SimMode::Analytical;
-            cfg.energy.enabled = true;
-            cfg.memory.ifmapSramKb = 1024;
-            cfg.memory.filterSramKb = 1024;
-            cfg.memory.ofmapSramKb = 512;
-            cfg.memory.bandwidthWordsPerCycle = 64.0;
-            core::Simulator sim(cfg);
-            const core::RunResult run = sim.run(topo);
-            designs.push_back({array, df, run.totalCycles,
-                               run.totalEnergy.totalUj(), run.edp});
-        }
+    // --jobs N spreads the sweep's design points over N threads
+    // (0 = auto); the evaluation order and output are unchanged.
+    unsigned jobs = 1;
+    for (int i = 1; i + 1 < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" || arg == "-j")
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10));
     }
+    const Topology topo = workloads::resnet18();
+
+    const std::vector<std::uint32_t> arrays = {16, 32, 64, 128};
+    const std::vector<Dataflow> dataflows = {
+        Dataflow::OutputStationary, Dataflow::WeightStationary,
+        Dataflow::InputStationary};
+    std::vector<Design> designs(arrays.size() * dataflows.size());
+    parallelFor(designs.size(), jobs, [&](std::uint64_t i) {
+        const std::uint32_t array = arrays[i / dataflows.size()];
+        const Dataflow df = dataflows[i % dataflows.size()];
+        SimConfig cfg;
+        cfg.arrayRows = cfg.arrayCols = array;
+        cfg.dataflow = df;
+        cfg.mode = SimMode::Analytical;
+        cfg.energy.enabled = true;
+        cfg.memory.ifmapSramKb = 1024;
+        cfg.memory.filterSramKb = 1024;
+        cfg.memory.ofmapSramKb = 512;
+        cfg.memory.bandwidthWordsPerCycle = 64.0;
+        core::Simulator sim(cfg);
+        const core::RunResult run = sim.run(topo);
+        designs[i] = {array, df, run.totalCycles,
+                      run.totalEnergy.totalUj(), run.edp};
+    });
 
     std::printf("%-10s %-4s %14s %14s %16s\n", "array", "df", "cycles",
                 "energy(uJ)", "EdP");
@@ -90,6 +103,7 @@ main()
     sweep.sramKbTotals = {1024, 4096};
     sweep.base.mode = SimMode::Analytical;
     sweep.base.memory.bandwidthWordsPerCycle = 64.0;
+    sweep.jobs = jobs;
     const auto points = core::runSweep(sweep, topo);
     const auto frontier = core::paretoFrontier(points);
     std::printf("\nPareto frontier (latency vs energy), %zu of %zu "

@@ -1,0 +1,129 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace scalesim
+{
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    if (const char* env = std::getenv("SCALESIM_JOBS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threadCount_(resolveJobs(threads))
+{
+    workers_.reserve(threadCount_);
+    for (unsigned i = 0; i < threadCount_; ++i) {
+        workers_.emplace_back(
+            [this](std::stop_token stop) { workerLoop(stop); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    for (auto& worker : workers_)
+        worker.request_stop();
+    taskReady_.notify_all();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard lock(mutex_);
+        tasks_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop(std::stop_token stop)
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            taskReady_.wait(lock, stop,
+                            [this] { return !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stop requested and queue drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard lock(mutex_);
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(std::uint64_t n, unsigned jobs,
+            const std::function<void(std::uint64_t)>& body)
+{
+    if (n == 0)
+        return;
+    const unsigned workers = std::min<std::uint64_t>(
+        jobs == 1 ? 1 : resolveJobs(jobs), n);
+    if (workers <= 1) {
+        for (std::uint64_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::uint64_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    auto drain = [&] {
+        for (;;) {
+            const std::uint64_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+    {
+        std::vector<std::jthread> threads;
+        threads.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            threads.emplace_back(drain);
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace scalesim

@@ -6,6 +6,7 @@
 
 #include "common/csv.hpp"
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 
 namespace scalesim::core
 {
@@ -17,32 +18,45 @@ runSweep(const DseSweep& sweep, const Topology& topology)
         || sweep.sramKbTotals.empty()) {
         fatal("DSE sweep has an empty axis");
     }
-    std::vector<DsePoint> points;
-    points.reserve(sweep.arraySizes.size() * sweep.dataflows.size()
-                   * sweep.sramKbTotals.size());
-    for (std::uint32_t array : sweep.arraySizes) {
-        for (Dataflow df : sweep.dataflows) {
-            for (std::uint64_t sram_kb : sweep.sramKbTotals) {
-                SimConfig cfg = sweep.base;
-                cfg.arrayRows = cfg.arrayCols = array;
-                cfg.dataflow = df;
-                cfg.energy.enabled = true;
-                cfg.memory.ifmapSramKb = sram_kb / 2;
-                cfg.memory.filterSramKb = sram_kb / 4;
-                cfg.memory.ofmapSramKb = sram_kb / 4;
-                Simulator sim(cfg);
-                const RunResult run = sim.run(topology);
-                DsePoint point;
-                point.array = array;
-                point.dataflow = df;
-                point.sramKb = sram_kb;
-                point.cycles = run.totalCycles;
-                point.energyMj = run.totalEnergy.totalMj();
-                point.edp = run.edp;
-                points.push_back(point);
-            }
-        }
-    }
+    // Flatten the axes into an index space so candidates can run on
+    // any thread while results land at their sequential-order slot.
+    struct Candidate
+    {
+        std::uint32_t array;
+        Dataflow dataflow;
+        std::uint64_t sramKb;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(sweep.arraySizes.size() * sweep.dataflows.size()
+                       * sweep.sramKbTotals.size());
+    for (std::uint32_t array : sweep.arraySizes)
+        for (Dataflow df : sweep.dataflows)
+            for (std::uint64_t sram_kb : sweep.sramKbTotals)
+                candidates.push_back({array, df, sram_kb});
+
+    std::vector<DsePoint> points(candidates.size());
+    parallelFor(candidates.size(), sweep.jobs, [&](std::uint64_t i) {
+        const Candidate& cand = candidates[i];
+        SimConfig cfg = sweep.base;
+        cfg.arrayRows = cfg.arrayCols = cand.array;
+        cfg.dataflow = cand.dataflow;
+        cfg.energy.enabled = true;
+        cfg.memory.ifmapSramKb = cand.sramKb / 2;
+        cfg.memory.filterSramKb = cand.sramKb / 4;
+        cfg.memory.ofmapSramKb = cand.sramKb / 4;
+        // Worker-private Simulator/DramMemory: per-layer timeline_
+        // coupling behaves exactly as in the sequential run.
+        Simulator sim(cfg);
+        const RunResult run = sim.run(topology);
+        DsePoint point;
+        point.array = cand.array;
+        point.dataflow = cand.dataflow;
+        point.sramKb = cand.sramKb;
+        point.cycles = run.totalCycles;
+        point.energyMj = run.totalEnergy.totalMj();
+        point.edp = run.edp;
+        points[i] = point;
+    });
     return points;
 }
 

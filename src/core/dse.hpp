@@ -53,6 +53,14 @@ struct DseSweep
     /** Total on-chip SRAM budgets (split 2:1:1 ifmap:filter:ofmap). */
     std::vector<std::uint64_t> sramKbTotals = {1024};
     SimConfig base;
+
+    /**
+     * Worker threads evaluating candidates (1 = sequential, 0 = auto
+     * via SCALESIM_JOBS / hardware concurrency). Each worker owns its
+     * own Simulator, and results are stored by candidate index, so the
+     * output is bit-identical for every jobs value.
+     */
+    unsigned jobs = 1;
 };
 
 /** Evaluate every point of the sweep on a workload. */

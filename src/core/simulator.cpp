@@ -59,6 +59,8 @@ Simulator::sramWords(std::uint64_t kb) const
 LayerResult
 Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
 {
+    const SimProfiler::clock::time_point layer_start =
+        SimProfiler::clock::now();
     const dram::DramStats dram_before = dram_
         ? dram_->system().totalStats() : dram::DramStats{};
     LayerResult result;
@@ -67,8 +69,12 @@ Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
     result.denseGemm = layer.toGemm();
 
     // 1. Sparsity resolution (§IV).
-    sparse::SparseLayerModel sparse_model(layer, cfg_.sparsity,
-                                          layer_index);
+    std::optional<sparse::SparseLayerModel> sparse_model_storage;
+    {
+        const auto prof = profiler_.scope(SimPhase::Sparsity);
+        sparse_model_storage.emplace(layer, cfg_.sparsity, layer_index);
+    }
+    sparse::SparseLayerModel& sparse_model = *sparse_model_storage;
     result.effectiveGemm = sparse_model.effectiveGemm();
     if (sparse_model.active())
         result.sparse = sparse_model.report(cfg_.memory.wordBytes * 8);
@@ -78,8 +84,19 @@ Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
         : systolic::OperandMap(result.denseGemm, cfg_.memory);
     const systolic::FoldGrid grid(result.effectiveGemm, cfg_.dataflow,
                                   cfg_.arrayRows, cfg_.arrayCols);
-    result.utilization = static_cast<double>(result.denseGemm.macs())
+    // Compute utilization of the run that actually executes (the
+    // effective, post-sparsity GEMM); the dense/effective gain is
+    // reported separately as `speedup` so utilization stays <= 1.
+    result.utilization = static_cast<double>(result.effectiveGemm.macs())
         / (static_cast<double>(grid.totalCycles()) * cfg_.numPes());
+    if (result.effectiveGemm.k != result.denseGemm.k) {
+        const systolic::FoldGrid dense_grid(result.denseGemm,
+                                            cfg_.dataflow,
+                                            cfg_.arrayRows,
+                                            cfg_.arrayCols);
+        result.speedup = static_cast<double>(dense_grid.totalCycles())
+            / static_cast<double>(grid.totalCycles());
+    }
     result.mappingEfficiency = grid.mappingEfficiency();
 
     // 2. Demand-driven passes (trace mode): layout slowdown and exact
@@ -110,6 +127,7 @@ Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
             sinks.push_back(&*action_visitor);
         }
         systolic::TeeVisitor tee(std::move(sinks));
+        const auto prof = profiler_.scope(SimPhase::DemandGen);
         generator.run(tee);
     }
     if (layout_eval)
@@ -120,8 +138,14 @@ Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
     //    running timeline keeps the memory model's clock aligned with
     //    compute across layers.
     scratchpad_->reset();
-    result.timing = scratchpad_->runLayer(grid, operands, timeline_,
-                                          result.layoutSlowdown);
+    {
+        // The detailed DRAM model runs inside the timing pass; charge
+        // the pass to whichever memory model is driving it.
+        const auto prof = profiler_.scope(
+            dram_ ? SimPhase::Dram : SimPhase::Scratchpad);
+        result.timing = scratchpad_->runLayer(grid, operands, timeline_,
+                                              result.layoutSlowdown);
+    }
     result.computeCycles = result.timing.computeCycles;
     result.totalCycles = result.timing.totalCycles;
     result.stallCycles = result.timing.stallCycles;
@@ -141,6 +165,7 @@ Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
 
     // 4. Energy (§VII).
     if (cfg_.energy.enabled) {
+        const auto prof = profiler_.scope(SimPhase::Energy);
         if (action_visitor) {
             result.actions = action_visitor->counts();
         } else {
@@ -184,6 +209,9 @@ Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
         result.powerW = energyModel_->averagePowerW(
             result.energyBreakdown, result.totalCycles);
     }
+    profiler_.chargeLayer(std::chrono::duration<double>(
+                              SimProfiler::clock::now() - layer_start)
+                              .count());
     return result;
 }
 
@@ -227,6 +255,7 @@ Simulator::run(const Topology& topology)
     }
     if (dram_)
         run.dramStats = dram_->system().totalStats();
+    run.profile = profiler_.snapshot();
     return run;
 }
 
@@ -285,6 +314,8 @@ RunResult::writeSummary(std::ostream& out) const
              "average power");
         stat("energy.edp", format("%.4g", edp), "cycles x mJ");
     }
+    if (profile.layersProfiled > 0)
+        profile.writeReport(out);
 }
 
 void
@@ -293,8 +324,8 @@ RunResult::writeComputeReport(std::ostream& out) const
     CsvWriter csv(out);
     csv.writeRow({"LayerID", "LayerName", "Reps", "M", "N", "K",
                   "EffK", "ComputeCycles", "StallCycles", "SimdCycles",
-                  "TotalCycles", "Utilization", "MappingEfficiency",
-                  "LayoutSlowdown"});
+                  "TotalCycles", "Utilization", "Speedup",
+                  "MappingEfficiency", "LayoutSlowdown"});
     for (std::size_t i = 0; i < layers.size(); ++i) {
         const auto& l = layers[i];
         csv.writeRow({std::to_string(i), l.name,
@@ -308,6 +339,7 @@ RunResult::writeComputeReport(std::ostream& out) const
                       std::to_string(l.simdCycles),
                       std::to_string(l.totalCycles),
                       fmtDouble(l.utilization),
+                      fmtDouble(l.speedup),
                       fmtDouble(l.mappingEfficiency),
                       fmtDouble(l.layoutSlowdown)});
     }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/profiler.hpp"
 #include "common/topology.hpp"
 #include "dram/system.hpp"
 #include "energy/action_counts.hpp"
@@ -42,7 +43,10 @@ struct LayerResult
     /** Wall-clock cycles of one instance, incl. memory stalls. */
     Cycle totalCycles = 0;
     Cycle stallCycles = 0;
+    /** Useful-MAC fraction of the *effective* (post-sparsity) run. */
     double utilization = 0.0;
+    /** Dense-over-effective compute-cycle ratio (1.0 when dense). */
+    double speedup = 1.0;
     double mappingEfficiency = 0.0;
     double layoutSlowdown = 1.0;
 
@@ -81,7 +85,13 @@ struct RunResult
      */
     std::vector<energy::PowerSample> powerTrace;
 
-    /** gem5-style human-readable stats summary. */
+    /** Self-profiling data of the simulation itself (Table IV). */
+    SimProfile profile;
+
+    /**
+     * gem5-style human-readable stats summary, including the
+     * SIM_OVERHEAD self-profiling section.
+     */
     void writeSummary(std::ostream& out) const;
     void writeComputeReport(std::ostream& out) const;
     void writePowerReport(std::ostream& out) const;
@@ -109,6 +119,9 @@ class Simulator
     /** Access the DRAM system (null unless the DRAM model is on). */
     const dram::DramMemory* dramMemory() const { return dram_.get(); }
 
+    /** Self-profiling counters accumulated across runLayer calls. */
+    SimProfile profile() const { return profiler_.snapshot(); }
+
   private:
     std::uint64_t sramWords(std::uint64_t kb) const;
 
@@ -120,6 +133,8 @@ class Simulator
     std::unique_ptr<energy::EnergyModel> energyModel_;
     /** Running clock across layers (keeps memory time aligned). */
     Cycle timeline_ = 0;
+    /** Wall-clock/RSS self-measurement of this instance's runs. */
+    SimProfiler profiler_;
 };
 
 } // namespace scalesim::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 
 namespace scalesim::multicore
 {
@@ -103,18 +104,22 @@ evaluatePartition(const GemmDims& gemm, Dataflow df,
 std::vector<PartitionEval>
 enumeratePartitions(const GemmDims& gemm, Dataflow df,
                     std::uint32_t array_rows, std::uint32_t array_cols,
-                    std::uint64_t cores, PartitionScheme scheme)
+                    std::uint64_t cores, PartitionScheme scheme,
+                    unsigned jobs)
 {
     if (cores == 0)
         fatal("need at least one core");
-    std::vector<PartitionEval> evals;
+    std::vector<std::uint64_t> pr_values;
     for (std::uint64_t pr = 1; pr <= cores; ++pr) {
-        if (cores % pr)
-            continue;
-        evals.push_back(evaluatePartition(gemm, df, array_rows,
-                                          array_cols, pr, cores / pr,
-                                          scheme));
+        if (cores % pr == 0)
+            pr_values.push_back(pr);
     }
+    std::vector<PartitionEval> evals(pr_values.size());
+    parallelFor(pr_values.size(), jobs, [&](std::uint64_t i) {
+        evals[i] = evaluatePartition(gemm, df, array_rows, array_cols,
+                                     pr_values[i], cores / pr_values[i],
+                                     scheme);
+    });
     return evals;
 }
 

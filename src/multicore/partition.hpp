@@ -64,11 +64,15 @@ PartitionEval evaluatePartition(const GemmDims& gemm, Dataflow df,
 
 /**
  * Evaluate every (pr, pc) factorization of `cores` under `scheme`.
+ * `jobs` spreads the candidate evaluations over worker threads
+ * (1 = sequential, 0 = auto); results are stored by factorization
+ * index, so the output order and values are identical for any jobs.
  */
 std::vector<PartitionEval>
 enumeratePartitions(const GemmDims& gemm, Dataflow df,
                     std::uint32_t array_rows, std::uint32_t array_cols,
-                    std::uint64_t cores, PartitionScheme scheme);
+                    std::uint64_t cores, PartitionScheme scheme,
+                    unsigned jobs = 1);
 
 /** Least-cycles choice; footprint breaks ties. */
 PartitionEval bestByCycles(const std::vector<PartitionEval>& evals);

@@ -47,23 +47,36 @@ TileCache::clear()
     used_ = 0;
 }
 
+namespace
+{
+
+/**
+ * Reject bad configs before any member is sized from them: a zero
+ * prefetchDepth must fail cleanly, not silently size the tile caches
+ * for depth 1 and then throw with half-constructed members.
+ */
+const ScratchpadConfig&
+validated(const ScratchpadConfig& cfg)
+{
+    if (cfg.burstWords == 0)
+        fatal("burstWords must be non-zero");
+    if (cfg.issuePerCycle == 0)
+        fatal("issuePerCycle must be non-zero");
+    if (cfg.prefetchDepth == 0)
+        fatal("prefetchDepth must be non-zero");
+    return cfg;
+}
+
+} // namespace
+
 DoubleBufferedScratchpad::DoubleBufferedScratchpad(
     const ScratchpadConfig& cfg, MainMemory& memory)
-    : cfg_(cfg), memory_(memory),
+    : cfg_(validated(cfg)), memory_(memory),
       // One shadow buffer per prefetch-depth step; the rest of each
       // SRAM holds resident data.
-      ifmapCache_(cfg.ifmapWords
-                  / (1 + std::max<std::uint32_t>(1, cfg.prefetchDepth))),
-      filterCache_(cfg.filterWords
-                   / (1 + std::max<std::uint32_t>(1,
-                                                  cfg.prefetchDepth)))
+      ifmapCache_(cfg_.ifmapWords / (1 + cfg_.prefetchDepth)),
+      filterCache_(cfg_.filterWords / (1 + cfg_.prefetchDepth))
 {
-    if (cfg_.burstWords == 0)
-        fatal("burstWords must be non-zero");
-    if (cfg_.issuePerCycle == 0)
-        fatal("issuePerCycle must be non-zero");
-    if (cfg_.prefetchDepth == 0)
-        fatal("prefetchDepth must be non-zero");
 }
 
 void

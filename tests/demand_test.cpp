@@ -144,6 +144,73 @@ TEST(DemandOs, EveryOperandElementCovered)
     EXPECT_EQ(filter_addrs.size(), gemm.k * gemm.n);
 }
 
+/**
+ * Partial-fold edge cases for the OS drain: the drain schedule uses
+ * the full physical arrayRows() for its timing but tile-local tr/tc
+ * bounds, so ragged folds must still emit every output exactly once
+ * within the fold. Each shape asserts total ofmap writes == M*N over
+ * the whole fold grid, with no duplicates.
+ */
+struct OsFoldShape
+{
+    const char* label;
+    GemmDims gemm;
+    std::uint32_t rows;
+    std::uint32_t cols;
+};
+
+class DemandOsPartialFold
+    : public ::testing::TestWithParam<OsFoldShape>
+{
+};
+
+TEST_P(DemandOsPartialFold, DrainCoversAllOutputsOnce)
+{
+    const OsFoldShape& shape = GetParam();
+    const GemmDims gemm = shape.gemm;
+    const OperandMap operands = makeOperands(gemm);
+    DemandGenerator gen(gemm, Dataflow::OutputStationary, shape.rows,
+                        shape.cols, operands);
+    CollectingVisitor collect;
+    gen.run(collect);
+
+    std::map<Addr, int> writes;
+    for (const auto& [clk, a] : collect.owrites)
+        ++writes[a];
+    EXPECT_EQ(collect.owrites.size(), gemm.m * gemm.n);
+    EXPECT_EQ(writes.size(), gemm.m * gemm.n);
+    for (const auto& [addr, count] : writes)
+        EXPECT_EQ(count, 1) << "address " << addr;
+    for (const auto& [addr, count] : writes) {
+        EXPECT_GE(addr, operands.ofmapBase);
+        EXPECT_LT(addr, operands.ofmapBase + gemm.m * gemm.n);
+    }
+    // Every write lands inside the generated schedule.
+    const auto& grid = gen.grid();
+    for (const auto& [clk, a] : collect.owrites)
+        EXPECT_LT(clk, grid.totalCycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PartialFolds, DemandOsPartialFold,
+    ::testing::Values(
+        // Ragged last fold on both axes: 10 = 8 + 2, 12 = 8 + 4.
+        OsFoldShape{"ragged_last_fold", {10, 12, 16}, 8, 8},
+        // Whole layer narrower than the array: tr = 3 < R = 8.
+        OsFoldShape{"tr_lt_rows", {3, 16, 16}, 8, 8},
+        // Whole layer shorter than the array: tc = 5 < C = 8.
+        OsFoldShape{"tc_lt_cols", {16, 5, 16}, 8, 8},
+        // Temporal extent shorter than the fill: K = 4 < R = 8.
+        OsFoldShape{"k_lt_rows", {16, 16, 4}, 8, 8},
+        // Everything at once: single partial fold, tiny K.
+        OsFoldShape{"all_partial", {5, 3, 2}, 8, 8},
+        // 1x1 fold grid edge with exactly full tiles.
+        OsFoldShape{"exact_tiles", {8, 8, 8}, 8, 8},
+        // Single row/column degenerate shapes.
+        OsFoldShape{"m_is_one", {1, 9, 7}, 8, 8},
+        OsFoldShape{"n_is_one", {9, 1, 7}, 8, 8}),
+    [](const auto& info) { return std::string(info.param.label); });
+
 TEST(DemandOs, SkewTiming)
 {
     // Row r's first ifmap read happens at fold-local cycle r.
