@@ -36,7 +36,14 @@ usage()
 {
     std::cerr <<
         "usage: scalesim_cli [-c config.cfg] [-t topology.csv]\n"
-        "                    [-w workload] [-o output_dir]\n"
+        "                    [-w workload] [-o output_dir] [-s]\n"
+        "                    [--stats file] [--stats-json file]\n"
+        "                    [--trace file] [--json file]\n"
+        "  --stats      gem5-format stats.txt dump\n"
+        "  --stats-json machine-readable stats dump\n"
+        "  --json       full run report as one JSON document\n"
+        "  --trace      Chrome trace-event timeline (chrome://tracing\n"
+        "               or ui.perfetto.dev); enables fold spans\n"
         "workloads: ";
     for (const auto& name : workloads::names())
         std::cerr << name << " ";
@@ -52,6 +59,10 @@ main(int argc, char** argv)
     std::string topology_path;
     std::string workload = "resnet18";
     std::string out_dir = ".";
+    std::string stats_path;
+    std::string stats_json_path;
+    std::string json_path;
+    std::string trace_path;
     bool write_traces = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -72,6 +83,14 @@ main(int argc, char** argv)
             out_dir = next();
         } else if (arg == "-s") {
             write_traces = true;
+        } else if (arg == "--stats") {
+            stats_path = next();
+        } else if (arg == "--stats-json") {
+            stats_json_path = next();
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--trace") {
+            trace_path = next();
         } else {
             usage();
             return arg == "-h" || arg == "--help" ? 0 : 1;
@@ -88,6 +107,8 @@ main(int argc, char** argv)
         const Topology topo = topology_path.empty()
             ? workloads::byName(workload)
             : Topology::load(topology_path);
+        if (!trace_path.empty())
+            cfg.memory.recordFoldSpans = true;
 
         inform("running %s (%zu layers) on a %ux%u %s array",
                topo.name.c_str(), topo.layers.size(), cfg.arrayRows,
@@ -116,6 +137,23 @@ main(int argc, char** argv)
                   &core::RunResult::writeEnergyReport);
             write("POWER_REPORT.csv", &core::RunResult::writePowerReport);
         }
+
+        // Observability outputs go to explicit paths (not out_dir).
+        auto write_to = [&](const std::string& path, auto writer) {
+            std::ofstream out(path);
+            if (!out)
+                fatal("cannot write %s", path.c_str());
+            (run.*writer)(out);
+            inform("wrote %s", path.c_str());
+        };
+        if (!stats_path.empty())
+            write_to(stats_path, &core::RunResult::writeStats);
+        if (!stats_json_path.empty())
+            write_to(stats_json_path, &core::RunResult::writeStatsJson);
+        if (!json_path.empty())
+            write_to(json_path, &core::RunResult::writeJson);
+        if (!trace_path.empty())
+            write_to(trace_path, &core::RunResult::writeChromeTrace);
 
         if (write_traces) {
             // Cycle-accurate SRAM traces from one demand pass per

@@ -234,6 +234,9 @@ SimConfig::fromIni(const IniFile& ini)
     cfg.memory.im2colAddressing = ini.getBool(
         "architecture", "Im2colAddressing",
         cfg.memory.im2colAddressing);
+    cfg.memory.recordFoldSpans = ini.getBool(
+        "architecture", "RecordFoldSpans",
+        cfg.memory.recordFoldSpans);
     cfg.simdLanes = static_cast<std::uint32_t>(ini.getInt(
         "architecture", "SimdLanes", cfg.simdLanes));
     cfg.simdLatencyPerOp = static_cast<std::uint32_t>(ini.getInt(

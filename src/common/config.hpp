@@ -97,6 +97,12 @@ struct MemoryConfig
      * window element is a distinct address (more DRAM traffic).
      */
     bool im2colAddressing = true;
+
+    /**
+     * Record per-fold compute spans for timeline (Chrome trace)
+     * export. Off by default — large layers have many folds.
+     */
+    bool recordFoldSpans = false;
 };
 
 /** Sparse-filter representation (paper §IV-C). */

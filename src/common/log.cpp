@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -9,19 +10,22 @@ namespace scalesim
 
 namespace
 {
-bool g_quiet = false;
+// Read from parallel sweep workers while e.g. a test harness toggles
+// it; relaxed atomic accesses keep that race benign (it only gates
+// diagnostics, so no ordering is needed).
+std::atomic<bool> g_quiet{false};
 } // namespace
 
 void
 setQuiet(bool quiet)
 {
-    g_quiet = quiet;
+    g_quiet.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return g_quiet;
+    return g_quiet.load(std::memory_order_relaxed);
 }
 
 std::string
@@ -51,7 +55,7 @@ format(const char* fmt, ...)
 void
 inform(const char* fmt, ...)
 {
-    if (g_quiet)
+    if (quiet())
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -63,7 +67,7 @@ inform(const char* fmt, ...)
 void
 warn(const char* fmt, ...)
 {
-    if (g_quiet)
+    if (quiet())
         return;
     std::va_list args;
     va_start(args, fmt);

@@ -11,8 +11,8 @@
 namespace scalesim::core
 {
 
-std::vector<DsePoint>
-runSweep(const DseSweep& sweep, const Topology& topology)
+std::vector<DseDetailedPoint>
+runSweepDetailed(const DseSweep& sweep, const Topology& topology)
 {
     if (sweep.arraySizes.empty() || sweep.dataflows.empty()
         || sweep.sramKbTotals.empty()) {
@@ -34,7 +34,7 @@ runSweep(const DseSweep& sweep, const Topology& topology)
             for (std::uint64_t sram_kb : sweep.sramKbTotals)
                 candidates.push_back({array, df, sram_kb});
 
-    std::vector<DsePoint> points(candidates.size());
+    std::vector<DseDetailedPoint> points(candidates.size());
     parallelFor(candidates.size(), sweep.jobs, [&](std::uint64_t i) {
         const Candidate& cand = candidates[i];
         SimConfig cfg = sweep.base;
@@ -47,7 +47,7 @@ runSweep(const DseSweep& sweep, const Topology& topology)
         // Worker-private Simulator/DramMemory: per-layer timeline_
         // coupling behaves exactly as in the sequential run.
         Simulator sim(cfg);
-        const RunResult run = sim.run(topology);
+        RunResult run = sim.run(topology);
         DsePoint point;
         point.array = cand.array;
         point.dataflow = cand.dataflow;
@@ -55,9 +55,35 @@ runSweep(const DseSweep& sweep, const Topology& topology)
         point.cycles = run.totalCycles;
         point.energyMj = run.totalEnergy.totalMj();
         point.edp = run.edp;
-        points[i] = point;
+        // The worker's registry moves into the candidate's index slot:
+        // no shared state, and identical output for every jobs value.
+        points[i].point = point;
+        points[i].stats = std::move(run.stats);
     });
     return points;
+}
+
+std::vector<DsePoint>
+runSweep(const DseSweep& sweep, const Topology& topology)
+{
+    std::vector<DseDetailedPoint> detailed =
+        runSweepDetailed(sweep, topology);
+    std::vector<DsePoint> points;
+    points.reserve(detailed.size());
+    for (const auto& d : detailed)
+        points.push_back(d.point);
+    return points;
+}
+
+obs::StatsRegistry
+mergeSweepStats(const std::vector<DseDetailedPoint>& points)
+{
+    obs::StatsRegistry merged;
+    merged.addScalar("sweep.points", "design points evaluated",
+                     static_cast<double>(points.size()));
+    for (const auto& p : points)
+        merged.merge(p.stats);
+    return merged;
 }
 
 namespace

@@ -63,9 +63,36 @@ struct DseSweep
     unsigned jobs = 1;
 };
 
+/** One evaluated design point plus its full stats registry. */
+struct DseDetailedPoint
+{
+    DsePoint point;
+    /** The point's RunResult stats (sim.*, spad.*, dram.*, ...). */
+    obs::StatsRegistry stats;
+};
+
 /** Evaluate every point of the sweep on a workload. */
 std::vector<DsePoint> runSweep(const DseSweep& sweep,
                                const Topology& topology);
+
+/**
+ * Like runSweep, but each point also carries the run's stats
+ * registry. Workers write their private registry into the point's
+ * index slot, so the output — including every stats dump — is
+ * byte-identical for every jobs value.
+ */
+std::vector<DseDetailedPoint> runSweepDetailed(const DseSweep& sweep,
+                                               const Topology& topology);
+
+/**
+ * Fold every point's registry into one sweep-aggregate registry in
+ * index (= sequential candidate) order: scalars and vectors sum
+ * across points, distributions merge, and a `sweep.points` scalar
+ * records how many designs contributed. Deterministic byte-for-byte
+ * regardless of the jobs count used to produce the points.
+ */
+obs::StatsRegistry mergeSweepStats(
+    const std::vector<DseDetailedPoint>& points);
 
 DsePoint bestByLatency(const std::vector<DsePoint>& points);
 DsePoint bestByEnergy(const std::vector<DsePoint>& points);

@@ -1,10 +1,13 @@
 #include "core/simulator.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 #include "common/csv.hpp"
 #include "common/log.hpp"
 #include "multicore/tensor_core.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "systolic/demand.hpp"
 
 namespace scalesim::core
@@ -33,6 +36,7 @@ Simulator::Simulator(const SimConfig& cfg)
     spad.burstWords = cfg_.memory.burstWords;
     spad.issuePerCycle = cfg_.memory.issuePerCycle;
     spad.prefetchDepth = cfg_.memory.prefetchDepth;
+    spad.recordFoldSpans = cfg_.memory.recordFoldSpans;
     scratchpad_ = std::make_unique<systolic::DoubleBufferedScratchpad>(
         spad, *memory_);
 
@@ -87,9 +91,13 @@ Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
     // Compute utilization of the run that actually executes (the
     // effective, post-sparsity GEMM); the dense/effective gain is
     // reported separately as `speedup` so utilization stays <= 1.
-    result.utilization = static_cast<double>(result.effectiveGemm.macs())
-        / (static_cast<double>(grid.totalCycles()) * cfg_.numPes());
-    if (result.effectiveGemm.k != result.denseGemm.k) {
+    const double pe_cycles = static_cast<double>(grid.totalCycles())
+        * static_cast<double>(cfg_.numPes());
+    result.utilization = pe_cycles > 0.0
+        ? static_cast<double>(result.effectiveGemm.macs()) / pe_cycles
+        : 0.0;
+    if (result.effectiveGemm.k != result.denseGemm.k
+        && grid.totalCycles() > 0) {
         const systolic::FoldGrid dense_grid(result.denseGemm,
                                             cfg_.dataflow,
                                             cfg_.arrayRows,
@@ -256,7 +264,35 @@ Simulator::run(const Topology& topology)
     if (dram_)
         run.dramStats = dram_->system().totalStats();
     run.profile = profiler_.snapshot();
+    run.registerStats(run.stats);
+    registerStats(run.stats);
     return run;
+}
+
+void
+Simulator::registerStats(obs::StatsRegistry& reg) const
+{
+    if (dram_)
+        dram_->system().registerStats(reg, "dram");
+    scratchpad_->registerStats(reg, "spad");
+
+    const systolic::MemoryStats& mem = memory_->stats();
+    reg.addScalar("mem.readRequests", "main-memory read requests",
+                  static_cast<double>(mem.readRequests));
+    reg.addScalar("mem.writeRequests", "main-memory write requests",
+                  static_cast<double>(mem.writeRequests));
+    reg.addScalar("mem.readWords", "main-memory words read",
+                  static_cast<double>(mem.readWords));
+    reg.addScalar("mem.writeWords", "main-memory words written",
+                  static_cast<double>(mem.writeWords));
+    reg.addScalar("mem.totalReadLatency",
+                  "summed read round-trips (core cycles)",
+                  static_cast<double>(mem.totalReadLatency));
+    obs::FormulaSpec read_lat;
+    read_lat.numerator = {{"mem.totalReadLatency", 1.0}};
+    read_lat.denominator = {{"mem.readRequests", 1.0}};
+    reg.addFormula("mem.avgReadLatency",
+                   "mean read round-trip (core cycles)", read_lat);
 }
 
 namespace
@@ -424,6 +460,311 @@ RunResult::writeEnergyReport(std::ostream& out) const
                   fmtDouble(totalEnergy.staticE),
                   fmtDouble(totalEnergy.totalPj()),
                   fmtDouble(avgPowerW)});
+}
+
+void
+RunResult::registerStats(obs::StatsRegistry& reg) const
+{
+    reg.addScalar("sim.layers", "distinct layers simulated",
+                  static_cast<double>(layers.size()));
+    reg.addScalar("sim.totalCycles", "wall-clock cycles incl. stalls",
+                  static_cast<double>(totalCycles));
+    reg.addScalar("sim.computeCycles", "ideal compute cycles",
+                  static_cast<double>(computeCycles));
+    reg.addScalar("sim.stallCycles", "memory stall cycles",
+                  static_cast<double>(stallCycles));
+    reg.addScalar("sim.dramReadWords", "main-memory words read",
+                  static_cast<double>(dramReadWords));
+    reg.addScalar("sim.dramWriteWords", "main-memory words written",
+                  static_cast<double>(dramWriteWords));
+    obs::FormulaSpec stall_frac;
+    stall_frac.numerator = {{"sim.stallCycles", 1.0}};
+    stall_frac.denominator = {{"sim.totalCycles", 1.0}};
+    reg.addFormula("sim.stallFraction", "stalls / total", stall_frac);
+
+    std::uint64_t sparse_layers = 0, dense_k = 0, compressed_k = 0;
+    std::uint64_t original_bits = 0, new_bits = 0, metadata_bits = 0;
+    for (const auto& l : layers) {
+        if (!l.sparse)
+            continue;
+        ++sparse_layers;
+        dense_k += l.sparse->denseK;
+        compressed_k += l.sparse->compressedK;
+        original_bits += l.sparse->originalFilterBits;
+        new_bits += l.sparse->newFilterBits;
+        metadata_bits += l.sparse->metadataBits;
+    }
+    if (sparse_layers > 0) {
+        reg.addScalar("sparse.layers", "layers with sparse filters",
+                      static_cast<double>(sparse_layers));
+        reg.addScalar("sparse.denseK", "summed dense K",
+                      static_cast<double>(dense_k));
+        reg.addScalar("sparse.compressedK", "summed compressed K",
+                      static_cast<double>(compressed_k));
+        reg.addScalar("sparse.originalFilterBits",
+                      "dense filter storage (bits)",
+                      static_cast<double>(original_bits));
+        reg.addScalar("sparse.newFilterBits",
+                      "compressed values + metadata (bits)",
+                      static_cast<double>(new_bits));
+        reg.addScalar("sparse.metadataBits", "metadata storage (bits)",
+                      static_cast<double>(metadata_bits));
+        obs::FormulaSpec compression;
+        compression.numerator = {{"sparse.originalFilterBits", 1.0}};
+        compression.denominator = {{"sparse.newFilterBits", 1.0}};
+        reg.addFormula("sparse.compressionRatio",
+                       "dense / compressed filter bits", compression);
+    }
+
+    if (totalEnergy.totalPj() > 0.0) {
+        const char* desc = "energy by component (pJ)";
+        reg.addVectorElem("energy.breakdown_pJ", "peArray", desc,
+                          totalEnergy.peArray);
+        reg.addVectorElem("energy.breakdown_pJ", "glb", desc,
+                          totalEnergy.glb);
+        reg.addVectorElem("energy.breakdown_pJ", "noc", desc,
+                          totalEnergy.noc);
+        reg.addVectorElem("energy.breakdown_pJ", "dram", desc,
+                          totalEnergy.dram);
+        reg.addVectorElem("energy.breakdown_pJ", "static", desc,
+                          totalEnergy.staticE);
+        reg.addScalar("energy.avgPower_W", "average power (W)",
+                      avgPowerW);
+        reg.addScalar("energy.edp", "energy-delay product (cycles x mJ)",
+                      edp);
+    }
+}
+
+void
+RunResult::writeStats(std::ostream& out) const
+{
+    stats.dump(out);
+}
+
+void
+RunResult::writeStatsJson(std::ostream& out) const
+{
+    stats.dumpJson(out);
+}
+
+namespace
+{
+
+void
+writeTimingJson(obs::JsonWriter& json, const systolic::LayerTiming& t)
+{
+    json.beginObject();
+    json.field("folds", static_cast<std::uint64_t>(t.folds));
+    json.field("prefetchStallCycles", t.prefetchStallCycles);
+    json.field("drainStallCycles", t.drainStallCycles);
+    json.field("bandwidthStallCycles", t.bandwidthStallCycles);
+    json.field("dramReadWords", t.dramReadWords);
+    json.field("dramWriteWords", t.dramWriteWords);
+    json.field("dramReadRequests", static_cast<std::uint64_t>(
+        t.dramReadRequests));
+    json.field("dramWriteRequests", static_cast<std::uint64_t>(
+        t.dramWriteRequests));
+    json.field("avgReadLatency", t.avgReadLatency);
+    json.field("readQueueStalls", t.readQueueStalls);
+    json.field("writeQueueStalls", t.writeQueueStalls);
+    json.field("readBandwidth", t.readBandwidth());
+    json.field("writeBandwidth", t.writeBandwidth());
+    json.endObject();
+}
+
+void
+writeEnergyJson(obs::JsonWriter& json,
+                const energy::EnergyBreakdown& e)
+{
+    json.beginObject();
+    json.field("peArray_pJ", e.peArray);
+    json.field("glb_pJ", e.glb);
+    json.field("noc_pJ", e.noc);
+    json.field("dram_pJ", e.dram);
+    json.field("static_pJ", e.staticE);
+    json.field("total_pJ", e.totalPj());
+    json.endObject();
+}
+
+} // namespace
+
+void
+RunResult::writeJson(std::ostream& out) const
+{
+    obs::JsonWriter json(out);
+    json.beginObject();
+    json.field("runName", runName);
+    json.field("workload", workload);
+
+    json.key("totals").beginObject();
+    json.field("totalCycles", totalCycles);
+    json.field("computeCycles", computeCycles);
+    json.field("stallCycles", stallCycles);
+    json.field("stallFraction",
+               totalCycles ? static_cast<double>(stallCycles)
+                   / static_cast<double>(totalCycles) : 0.0);
+    json.field("dramReadWords", dramReadWords);
+    json.field("dramWriteWords", dramWriteWords);
+    json.endObject();
+
+    const bool dram_active = dramStats.reads + dramStats.writes > 0;
+    json.key("dram").beginObject();
+    json.field("modeled", dram_active);
+    json.field("reads", static_cast<std::uint64_t>(dramStats.reads));
+    json.field("writes", static_cast<std::uint64_t>(dramStats.writes));
+    json.field("rowHits", static_cast<std::uint64_t>(dramStats.rowHits));
+    json.field("rowMisses", static_cast<std::uint64_t>(
+        dramStats.rowMisses));
+    json.field("rowConflicts", static_cast<std::uint64_t>(
+        dramStats.rowConflicts));
+    json.field("refreshes", static_cast<std::uint64_t>(
+        dramStats.refreshes));
+    json.field("readBytes", dramStats.readBytes);
+    json.field("writeBytes", dramStats.writeBytes);
+    json.field("rowHitRate", dramStats.rowHitRate());
+    json.field("avgReadLatency", dramStats.avgReadLatency());
+    json.endObject();
+
+    if (totalEnergy.totalPj() > 0.0) {
+        json.key("energy").beginObject();
+        json.key("breakdown");
+        writeEnergyJson(json, totalEnergy);
+        json.field("total_mJ", totalEnergy.totalMj());
+        json.field("onChip_mJ", totalEnergy.onChipMj());
+        json.field("avgPower_W", avgPowerW);
+        json.field("edp", edp);
+        json.endObject();
+    }
+
+    json.key("layers").beginArray();
+    for (const auto& l : layers) {
+        json.beginObject();
+        json.field("name", l.name);
+        json.field("repetitions", l.repetitions);
+        json.key("gemm").beginObject();
+        json.field("m", l.denseGemm.m);
+        json.field("n", l.denseGemm.n);
+        json.field("k", l.denseGemm.k);
+        json.field("effectiveK", l.effectiveGemm.k);
+        json.endObject();
+        json.field("computeCycles", l.computeCycles);
+        json.field("simdCycles", l.simdCycles);
+        json.field("totalCycles", l.totalCycles);
+        json.field("stallCycles", l.stallCycles);
+        json.field("utilization", l.utilization);
+        json.field("speedup", l.speedup);
+        json.field("mappingEfficiency", l.mappingEfficiency);
+        json.field("layoutSlowdown", l.layoutSlowdown);
+        json.key("timing");
+        writeTimingJson(json, l.timing);
+        if (l.sparse) {
+            const auto& s = *l.sparse;
+            json.key("sparse").beginObject();
+            json.field("representation", s.representation);
+            json.field("ratioN", s.ratioN);
+            json.field("ratioM", s.ratioM);
+            json.field("denseK", s.denseK);
+            json.field("compressedK", s.compressedK);
+            json.field("originalFilterBits", s.originalFilterBits);
+            json.field("newFilterBits", s.newFilterBits);
+            json.field("metadataBits", s.metadataBits);
+            json.endObject();
+        }
+        if (l.energyBreakdown.totalPj() > 0.0) {
+            json.key("energy");
+            writeEnergyJson(json, l.energyBreakdown);
+            json.field("power_W", l.powerW);
+        }
+        json.endObject();
+    }
+    json.endArray();
+
+    if (!powerTrace.empty()) {
+        json.key("powerTrace").beginArray();
+        for (const auto& sample : powerTrace) {
+            json.beginObject();
+            json.field("layer", sample.label);
+            json.field("cycles", sample.cycles);
+            json.field("power_W", sample.powerW);
+            json.endObject();
+        }
+        json.endArray();
+    }
+
+    json.key("profile").beginObject();
+    json.field("layersProfiled", profile.layersProfiled);
+    json.field("totalSeconds", profile.totalSeconds);
+    json.field("peakRssKb", profile.peakRssKb);
+    json.key("phaseSeconds").beginObject();
+    for (unsigned p = 0; p < kNumSimPhases; ++p) {
+        json.field(toString(static_cast<SimPhase>(p)),
+                   profile.phaseSeconds[p]);
+    }
+    json.field("other", profile.otherSeconds());
+    json.endObject();
+    json.endObject();
+
+    json.endObject();
+    out << '\n';
+}
+
+void
+RunResult::writeChromeTrace(std::ostream& out) const
+{
+    obs::TraceBuilder trace;
+    trace.setProcessName(0, runName.empty() ? "accelerator" : runName);
+    trace.setThreadName(0, 0, "layers");
+    trace.setThreadName(0, 1, "phases");
+    bool any_folds = false;
+    for (const auto& l : layers)
+        any_folds = any_folds || !l.timing.foldSpans.empty();
+    if (any_folds)
+        trace.setThreadName(0, 2, "folds");
+    trace.addMetadata("workload", workload);
+    trace.addMetadata("timeUnit", "1 trace us = 1 accelerator cycle");
+
+    Cycle now = 0;
+    for (const auto& l : layers) {
+        const std::uint64_t reps = std::max<std::uint32_t>(
+            1, l.repetitions);
+        const Cycle all_reps = l.totalCycles * reps;
+        trace.addSpan(0, 0, l.name, "layer", now,
+                      std::max<Cycle>(1, all_reps),
+                      {{"repetitions", static_cast<double>(reps)},
+                       {"utilization", l.utilization},
+                       {"stallCycles",
+                        static_cast<double>(l.stallCycles * reps)}});
+        // Phase spans cover the first instance only; repetitions
+        // replay the same schedule.
+        const Cycle matrix = l.timing.totalCycles;
+        trace.addSpan(0, 1, "matrix", "phase", now,
+                      std::max<Cycle>(1, matrix),
+                      {{"computeCycles",
+                        static_cast<double>(l.computeCycles)},
+                       {"stallCycles",
+                        static_cast<double>(l.stallCycles)}});
+        if (l.simdCycles > 0) {
+            trace.addSpan(0, 1, "vector_tail", "phase", now + matrix,
+                          std::max<Cycle>(1, l.simdCycles));
+        }
+        for (const auto& span : l.timing.foldSpans) {
+            trace.addSpan(0, 2, "fold", "fold", now + span.start,
+                          std::max<Cycle>(1, span.end - span.start),
+                          {{"rowFold", static_cast<double>(
+                                span.rowFold)},
+                           {"colFold", static_cast<double>(
+                                span.colFold)}});
+        }
+        trace.addCounter(0, "utilization", now, "util", l.utilization);
+        if (l.powerW > 0.0)
+            trace.addCounter(0, "power_W", now, "power", l.powerW);
+        now += all_reps;
+    }
+    // Close every counter track at the end of the run.
+    trace.addCounter(0, "utilization", now, "util", 0.0);
+    if (avgPowerW > 0.0)
+        trace.addCounter(0, "power_W", now, "power", 0.0);
+    trace.write(out);
 }
 
 } // namespace scalesim::core

@@ -22,6 +22,7 @@
 #include "energy/action_counts.hpp"
 #include "energy/model.hpp"
 #include "layout/layout.hpp"
+#include "obs/stats.hpp"
 #include "sparse/model.hpp"
 #include "systolic/scratchpad.hpp"
 
@@ -89,6 +90,15 @@ struct RunResult
     SimProfile profile;
 
     /**
+     * Hierarchical stats of this run: sim.* run totals plus every
+     * component's registered counters (dram.*, spad.*, sparse.*,
+     * energy.*). Populated by Simulator::run; deterministic for a
+     * given (config, topology) so parallel-sweep dumps are
+     * byte-identical to sequential ones.
+     */
+    obs::StatsRegistry stats;
+
+    /**
      * gem5-style human-readable stats summary, including the
      * SIM_OVERHEAD self-profiling section.
      */
@@ -98,6 +108,34 @@ struct RunResult
     void writeBandwidthReport(std::ostream& out) const;
     void writeSparseReport(std::ostream& out) const;
     void writeEnergyReport(std::ostream& out) const;
+
+    /** gem5-format text dump of `stats` (stats.txt). */
+    void writeStats(std::ostream& out) const;
+    /** Machine-readable dump of `stats` (stats.json). */
+    void writeStatsJson(std::ostream& out) const;
+
+    /**
+     * Machine-readable run report: everything the five text reports
+     * print, as one JSON document (totals, per-layer results, DRAM
+     * stats, energy breakdowns, power trace, self-profile).
+     */
+    void writeJson(std::ostream& out) const;
+
+    /**
+     * Chrome trace-event (Perfetto-compatible) timeline: spans per
+     * layer instance, per phase (matrix/vector tail), and per fold
+     * (when fold spans were recorded), plus power and utilization
+     * counter tracks. Open in chrome://tracing or ui.perfetto.dev;
+     * one accelerator cycle maps to one trace microsecond.
+     */
+    void writeChromeTrace(std::ostream& out) const;
+
+    /**
+     * Register run-derived stats (sim.*, sparse.*, energy.*) into a
+     * registry. Component-state stats are registered by
+     * Simulator::registerStats; Simulator::run does both.
+     */
+    void registerStats(obs::StatsRegistry& reg) const;
 };
 
 /** The v3 simulator. One instance per accelerator configuration. */
@@ -121,6 +159,13 @@ class Simulator
 
     /** Self-profiling counters accumulated across runLayer calls. */
     SimProfile profile() const { return profiler_.snapshot(); }
+
+    /**
+     * Register component-state stats (dram.*, spad.*, mem.*) into a
+     * registry. Called by run() on the result's registry; exposed for
+     * callers driving runLayer directly.
+     */
+    void registerStats(obs::StatsRegistry& reg) const;
 
   private:
     std::uint64_t sramWords(std::uint64_t kb) const;

@@ -28,7 +28,8 @@ Channel::Channel(const DramTiming& timing, std::uint32_t ranks,
                  std::uint32_t hit_streak_cap, PagePolicy policy)
     : timing_(timing), reorderWindow_(reorder_window),
       hitStreakCap_(hit_streak_cap), policy_(policy),
-      banks_(static_cast<std::size_t>(ranks) * timing.banksPerRank)
+      banks_(static_cast<std::size_t>(ranks) * timing.banksPerRank),
+      bankStats_(banks_.size())
 {
     if (ranks == 0)
         fatal("channel must have at least one rank");
@@ -52,6 +53,7 @@ Channel::enqueue(const DecodedAddr& addr, bool write, Cycle arrival)
     req.arrival = arrival;
     req.seq = nextSeq_++;
     pending_.push_back(req);
+    queueOccupancy_.sample(static_cast<double>(pending_.size()));
     stats_.firstArrival = std::min(stats_.firstArrival, arrival);
     return req.seq;
 }
@@ -186,10 +188,20 @@ Channel::serviceOne(const Pending& req)
     }
 
     switch (outcome) {
-      case RowOutcome::Hit: ++stats_.rowHits; break;
-      case RowOutcome::Miss: ++stats_.rowMisses; break;
-      case RowOutcome::Conflict: ++stats_.rowConflicts; break;
+      case RowOutcome::Hit:
+        ++stats_.rowHits;
+        ++bankStats_[gbank].rowHits;
+        break;
+      case RowOutcome::Miss:
+        ++stats_.rowMisses;
+        ++bankStats_[gbank].rowMisses;
+        break;
+      case RowOutcome::Conflict:
+        ++stats_.rowConflicts;
+        ++bankStats_[gbank].rowConflicts;
+        break;
     }
+    busBusyCycles_ += timing_.tBurst;
     Cycle completion;
     if (req.write) {
         ++stats_.writes;
@@ -226,6 +238,77 @@ Channel::serviceUntil(std::uint64_t seq)
                        + static_cast<std::ptrdiff_t>(idx));
         completed_[req.seq] = serviceOne(req);
     }
+}
+
+void
+Channel::registerStats(obs::StatsRegistry& reg,
+                       const std::string& prefix) const
+{
+    auto name = [&](const char* leaf) { return prefix + "." + leaf; };
+    reg.addScalar(name("reads"), "read bursts serviced",
+                  static_cast<double>(stats_.reads));
+    reg.addScalar(name("writes"), "write bursts serviced",
+                  static_cast<double>(stats_.writes));
+    reg.addScalar(name("rowHits"), "row-buffer hits",
+                  static_cast<double>(stats_.rowHits));
+    reg.addScalar(name("rowMisses"), "row-buffer misses (bank closed)",
+                  static_cast<double>(stats_.rowMisses));
+    reg.addScalar(name("rowConflicts"),
+                  "row-buffer conflicts (wrong row open)",
+                  static_cast<double>(stats_.rowConflicts));
+    reg.addScalar(name("refreshes"), "all-bank refresh operations",
+                  static_cast<double>(stats_.refreshes));
+    reg.addScalar(name("readBytes"), "bytes read from DRAM",
+                  static_cast<double>(stats_.readBytes));
+    reg.addScalar(name("writeBytes"), "bytes written to DRAM",
+                  static_cast<double>(stats_.writeBytes));
+    reg.addScalar(name("totalReadLatency"),
+                  "sum of read round-trip latencies (memory clocks)",
+                  static_cast<double>(stats_.totalReadLatency));
+    reg.addScalar(name("busBusyCycles"),
+                  "memory clocks the data bus carried bursts",
+                  static_cast<double>(busBusyCycles_));
+    const bool any = stats_.reads + stats_.writes > 0;
+    reg.addScalar(name("firstArrival"),
+                  "arrival of the first request (memory clocks)",
+                  any ? static_cast<double>(stats_.firstArrival) : 0.0);
+    reg.addScalar(name("lastCompletion"),
+                  "completion of the last burst (memory clocks)",
+                  static_cast<double>(stats_.lastCompletion));
+    for (std::size_t b = 0; b < bankStats_.size(); ++b) {
+        const std::string elem = format("bank%zu", b);
+        reg.addVectorElem(name("bank.rowHits"), elem,
+                          "per-bank row-buffer hits",
+                          static_cast<double>(bankStats_[b].rowHits));
+        reg.addVectorElem(name("bank.rowMisses"), elem,
+                          "per-bank row-buffer misses",
+                          static_cast<double>(bankStats_[b].rowMisses));
+        reg.addVectorElem(
+            name("bank.rowConflicts"), elem,
+            "per-bank row-buffer conflicts",
+            static_cast<double>(bankStats_[b].rowConflicts));
+    }
+    reg.addDistribution(name("queueOccupancy"),
+                        "request-queue depth at enqueue",
+                        queueOccupancy_);
+    reg.addFormula(name("rowHitRate"),
+                   "rowHits / (rowHits + rowMisses + rowConflicts)",
+                   {{{name("rowHits"), 1.0}},
+                    {{name("rowHits"), 1.0},
+                     {name("rowMisses"), 1.0},
+                     {name("rowConflicts"), 1.0}},
+                    1.0});
+    reg.addFormula(name("avgReadLatency"),
+                   "mean read round-trip latency (memory clocks)",
+                   {{{name("totalReadLatency"), 1.0}},
+                    {{name("reads"), 1.0}},
+                    1.0});
+    reg.addFormula(name("busUtilization"),
+                   "busBusyCycles / (lastCompletion - firstArrival)",
+                   {{{name("busBusyCycles"), 1.0}},
+                    {{name("lastCompletion"), 1.0},
+                     {name("firstArrival"), -1.0}},
+                    1.0});
 }
 
 void

@@ -14,10 +14,12 @@
 #define SCALESIM_DRAM_CONTROLLER_HH
 
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "dram/timing.hpp"
+#include "obs/stats.hpp"
 
 namespace scalesim::dram
 {
@@ -84,6 +86,14 @@ struct DramStats
     void merge(const DramStats& other);
 };
 
+/** Row-buffer outcome counters of one bank (observability). */
+struct BankStats
+{
+    Count rowHits = 0;
+    Count rowMisses = 0;
+    Count rowConflicts = 0;
+};
+
 /**
  * One DRAM channel. Requests are enqueued with monotonically
  * non-decreasing arrival times; serviceUntil() drains the pending queue
@@ -117,6 +127,30 @@ class Channel
     /** Earliest cycle the data bus frees up (for utilization calcs). */
     Cycle busFree() const { return busFree_; }
 
+    /** Per-bank row-buffer outcome counters (rank-major). */
+    const std::vector<BankStats>& bankStats() const
+    {
+        return bankStats_;
+    }
+
+    /** Request-queue depth histogram, sampled at each enqueue. */
+    const obs::Histogram& queueOccupancy() const
+    {
+        return queueOccupancy_;
+    }
+
+    /** Memory clocks the shared data bus spent transferring bursts. */
+    Cycle busBusyCycles() const { return busBusyCycles_; }
+
+    /**
+     * Register this channel's stats under `prefix` (dotted group, e.g.
+     * "dram.ch0"): request/outcome scalars, per-bank outcome vectors,
+     * the queue-occupancy distribution, and derived formulas
+     * (rowHitRate, avgReadLatency, busUtilization).
+     */
+    void registerStats(obs::StatsRegistry& reg,
+                       const std::string& prefix) const;
+
   private:
     struct Pending
     {
@@ -149,6 +183,9 @@ class Channel
     std::deque<Pending> pending_;
     std::vector<Bank> banks_;
     DramStats stats_;
+    std::vector<BankStats> bankStats_;
+    obs::Histogram queueOccupancy_;
+    Cycle busBusyCycles_ = 0;
 
     Cycle busFree_ = 0;
     Cycle lastColCmd_ = 0;

@@ -188,6 +188,61 @@ DramSystem::channelStats(std::uint32_t ch) const
     return channels_[ch].stats();
 }
 
+const std::vector<BankStats>&
+DramSystem::channelBankStats(std::uint32_t ch) const
+{
+    if (ch >= channels_.size())
+        fatal("channel %u out of range", ch);
+    return channels_[ch].bankStats();
+}
+
+void
+DramSystem::registerStats(obs::StatsRegistry& reg,
+                          const std::string& prefix) const
+{
+    auto name = [&](const char* leaf) { return prefix + "." + leaf; };
+    const DramStats total = totalStats();
+    reg.addScalar(name("channels"), "DRAM channels",
+                  static_cast<double>(channels_.size()));
+    reg.addScalar(name("reads"), "read bursts serviced (all channels)",
+                  static_cast<double>(total.reads));
+    reg.addScalar(name("writes"),
+                  "write bursts serviced (all channels)",
+                  static_cast<double>(total.writes));
+    reg.addScalar(name("rowHits"), "row-buffer hits (all channels)",
+                  static_cast<double>(total.rowHits));
+    reg.addScalar(name("rowMisses"),
+                  "row-buffer misses (all channels)",
+                  static_cast<double>(total.rowMisses));
+    reg.addScalar(name("rowConflicts"),
+                  "row-buffer conflicts (all channels)",
+                  static_cast<double>(total.rowConflicts));
+    reg.addScalar(name("refreshes"),
+                  "all-bank refreshes (all channels)",
+                  static_cast<double>(total.refreshes));
+    reg.addScalar(name("readBytes"), "bytes read (all channels)",
+                  static_cast<double>(total.readBytes));
+    reg.addScalar(name("writeBytes"), "bytes written (all channels)",
+                  static_cast<double>(total.writeBytes));
+    reg.addScalar(name("totalReadLatency"),
+                  "summed read latency (memory clocks, all channels)",
+                  static_cast<double>(total.totalReadLatency));
+    reg.addFormula(name("rowHitRate"),
+                   "rowHits / (rowHits + rowMisses + rowConflicts)",
+                   {{{name("rowHits"), 1.0}},
+                    {{name("rowHits"), 1.0},
+                     {name("rowMisses"), 1.0},
+                     {name("rowConflicts"), 1.0}},
+                    1.0});
+    reg.addFormula(name("avgReadLatency"),
+                   "mean read round-trip latency (memory clocks)",
+                   {{{name("totalReadLatency"), 1.0}},
+                    {{name("reads"), 1.0}},
+                    1.0});
+    for (std::size_t i = 0; i < channels_.size(); ++i)
+        channels_[i].registerStats(reg, prefix + format(".ch%zu", i));
+}
+
 DramMemory::DramMemory(const DramConfig& cfg, std::uint32_t word_bytes)
     : system_([&] {
           DramSystemConfig sys;

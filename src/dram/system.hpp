@@ -92,6 +92,18 @@ class DramSystem
     const DramStats& channelStats(std::uint32_t ch) const;
     std::uint32_t channels() const { return cfg_.channels; }
 
+    /** Per-bank stats of one channel (rank-major). */
+    const std::vector<BankStats>&
+    channelBankStats(std::uint32_t ch) const;
+
+    /**
+     * Register aggregate stats under `prefix` (e.g. "dram") and each
+     * channel's stats under `prefix.chN` — per-bank row outcome
+     * vectors, queue-occupancy distributions, bus utilization.
+     */
+    void registerStats(obs::StatsRegistry& reg,
+                       const std::string& prefix) const;
+
   private:
     DramSystemConfig cfg_;
     std::vector<Channel> channels_;

@@ -1,0 +1,205 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "common/log.hpp"
+
+namespace scalesim::obs
+{
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out += format("\\u%04x", c);
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& out, bool pretty)
+    : out_(out), pretty_(pretty)
+{
+}
+
+void
+JsonWriter::indent()
+{
+    if (!pretty_)
+        return;
+    out_ << '\n';
+    for (std::size_t i = 0; i < containers_.size(); ++i)
+        out_ << "  ";
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (containers_.empty())
+        return;
+    if (containers_.back())
+        panic("JSON object member emitted without a key");
+    if (hasElement_.back())
+        out_ << ',';
+    hasElement_.back() = true;
+    indent();
+}
+
+JsonWriter&
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ << '{';
+    containers_.push_back(true);
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    if (containers_.empty() || !containers_.back())
+        panic("endObject() without a matching beginObject()");
+    const bool had = hasElement_.back();
+    containers_.pop_back();
+    hasElement_.pop_back();
+    if (had)
+        indent();
+    out_ << '}';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ << '[';
+    containers_.push_back(false);
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    if (containers_.empty() || containers_.back())
+        panic("endArray() without a matching beginArray()");
+    const bool had = hasElement_.back();
+    containers_.pop_back();
+    hasElement_.pop_back();
+    if (had)
+        indent();
+    out_ << ']';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::key(std::string_view name)
+{
+    if (containers_.empty() || !containers_.back())
+        panic("JSON key outside an object");
+    if (hasElement_.back())
+        out_ << ',';
+    hasElement_.back() = true;
+    indent();
+    out_ << '"' << jsonEscape(name) << "\":";
+    if (pretty_)
+        out_ << ' ';
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::string_view text)
+{
+    beforeValue();
+    out_ << '"' << jsonEscape(text) << '"';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const char* text)
+{
+    return value(std::string_view(text));
+}
+
+JsonWriter&
+JsonWriter::value(double number)
+{
+    beforeValue();
+    if (!std::isfinite(number)) {
+        // nan/inf are not JSON; null keeps the document parseable.
+        out_ << "null";
+        return *this;
+    }
+    // %.17g round-trips doubles exactly; trim to a stable short form.
+    std::string text = format("%.10g", number);
+    out_ << text;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::uint64_t number)
+{
+    beforeValue();
+    out_ << number;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::int64_t number)
+{
+    beforeValue();
+    out_ << number;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::uint32_t number)
+{
+    return value(static_cast<std::uint64_t>(number));
+}
+
+JsonWriter&
+JsonWriter::value(int number)
+{
+    return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter&
+JsonWriter::value(bool flag)
+{
+    beforeValue();
+    out_ << (flag ? "true" : "false");
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::null()
+{
+    beforeValue();
+    out_ << "null";
+    return *this;
+}
+
+} // namespace scalesim::obs

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal streaming JSON writer used by every machine-readable output
+ * of the observability layer (stats.json, run reports, Chrome traces).
+ * Keeps a nesting stack so emitted documents are well-formed by
+ * construction; non-finite doubles are emitted as null so downstream
+ * parsers never see bare `nan`/`inf` tokens.
+ */
+
+#ifndef SCALESIM_OBS_JSON_HH
+#define SCALESIM_OBS_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scalesim::obs
+{
+
+/** Escape a string for inclusion in a JSON document (no quotes). */
+std::string jsonEscape(std::string_view text);
+
+/**
+ * Streaming writer. Usage:
+ *
+ *   JsonWriter w(out);
+ *   w.beginObject();
+ *   w.key("cycles").value(42);
+ *   w.key("layers").beginArray();
+ *   ...
+ *   w.endArray();
+ *   w.endObject();
+ *
+ * Commas and indentation are handled internally.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream& out, bool pretty = true);
+
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+
+    /** Emit an object key; must be followed by a value or container. */
+    JsonWriter& key(std::string_view name);
+
+    JsonWriter& value(std::string_view text);
+    JsonWriter& value(const char* text);
+    JsonWriter& value(double number);
+    JsonWriter& value(std::uint64_t number);
+    JsonWriter& value(std::int64_t number);
+    JsonWriter& value(std::uint32_t number);
+    JsonWriter& value(int number);
+    JsonWriter& value(bool flag);
+    JsonWriter& null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter&
+    field(std::string_view name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+  private:
+    void beforeValue();
+    void indent();
+
+    std::ostream& out_;
+    bool pretty_;
+    /** One entry per open container: true = object, false = array. */
+    std::vector<bool> containers_;
+    /** Whether the current container already holds an element. */
+    std::vector<bool> hasElement_;
+    bool pendingKey_ = false;
+};
+
+} // namespace scalesim::obs
+
+#endif // SCALESIM_OBS_JSON_HH

@@ -1,0 +1,338 @@
+#include "obs/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/log.hpp"
+#include "obs/json.hpp"
+
+namespace scalesim::obs
+{
+
+void
+Histogram::sample(double value)
+{
+    if (count == 0) {
+        minSample = maxSample = value;
+    } else {
+        minSample = std::min(minSample, value);
+        maxSample = std::max(maxSample, value);
+    }
+    ++count;
+    sum += value;
+    sumSq += value * value;
+    unsigned bucket = 0;
+    if (value >= 1.0) {
+        const double log2v = std::log2(value);
+        bucket = 1 + static_cast<unsigned>(log2v);
+        if (bucket >= kBuckets)
+            bucket = kBuckets - 1;
+    }
+    ++buckets[bucket];
+}
+
+void
+Histogram::merge(const Histogram& other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0) {
+        minSample = other.minSample;
+        maxSample = other.maxSample;
+    } else {
+        minSample = std::min(minSample, other.minSample);
+        maxSample = std::max(maxSample, other.maxSample);
+    }
+    count += other.count;
+    sum += other.sum;
+    sumSq += other.sumSq;
+    for (unsigned i = 0; i < kBuckets; ++i)
+        buckets[i] += other.buckets[i];
+}
+
+double
+Histogram::stdev() const
+{
+    if (count < 2)
+        return 0.0;
+    const double n = static_cast<double>(count);
+    const double var = (sumSq - sum * sum / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::pair<double, double>
+Histogram::bucketRange(unsigned i)
+{
+    if (i == 0)
+        return {0.0, 1.0};
+    return {std::ldexp(1.0, static_cast<int>(i) - 1),
+            std::ldexp(1.0, static_cast<int>(i))};
+}
+
+void
+StatsRegistry::addScalar(std::string_view name, std::string_view desc,
+                         double value)
+{
+    auto it = stats_.find(name);
+    if (it == stats_.end()) {
+        stats_.emplace(std::string(name),
+                       Entry{std::string(desc), value});
+        return;
+    }
+    if (auto* scalar = std::get_if<double>(&it->second.data)) {
+        *scalar += value;
+    } else {
+        panic("stat '%s' re-registered with a different type",
+              std::string(name).c_str());
+    }
+}
+
+void
+StatsRegistry::addVectorElem(std::string_view name,
+                             std::string_view elem,
+                             std::string_view desc, double value)
+{
+    auto it = stats_.find(name);
+    if (it == stats_.end()) {
+        VectorData vec;
+        vec.elems.emplace_back(std::string(elem), value);
+        it = stats_.emplace(std::string(name),
+                            Entry{std::string(desc), std::move(vec)})
+                 .first;
+        return;
+    }
+    auto* vec = std::get_if<VectorData>(&it->second.data);
+    if (!vec) {
+        panic("stat '%s' re-registered with a different type",
+              std::string(name).c_str());
+    }
+    for (auto& [e, v] : vec->elems) {
+        if (e == elem) {
+            v += value;
+            return;
+        }
+    }
+    vec->elems.emplace_back(std::string(elem), value);
+}
+
+void
+StatsRegistry::addDistribution(std::string_view name,
+                               std::string_view desc,
+                               const Histogram& data)
+{
+    auto it = stats_.find(name);
+    if (it == stats_.end()) {
+        stats_.emplace(std::string(name),
+                       Entry{std::string(desc), data});
+        return;
+    }
+    auto* hist = std::get_if<Histogram>(&it->second.data);
+    if (!hist) {
+        panic("stat '%s' re-registered with a different type",
+              std::string(name).c_str());
+    }
+    hist->merge(data);
+}
+
+void
+StatsRegistry::addFormula(std::string_view name, std::string_view desc,
+                          FormulaSpec spec)
+{
+    if (stats_.find(name) != stats_.end())
+        return; // formulas are idempotent; first definition wins
+    stats_.emplace(std::string(name),
+                   Entry{std::string(desc), std::move(spec)});
+}
+
+double
+StatsRegistry::scalarValue(std::string_view name) const
+{
+    auto it = stats_.find(name);
+    if (it == stats_.end())
+        return 0.0;
+    if (const auto* scalar = std::get_if<double>(&it->second.data))
+        return *scalar;
+    return 0.0;
+}
+
+double
+StatsRegistry::evaluate(std::string_view name) const
+{
+    auto it = stats_.find(name);
+    if (it == stats_.end())
+        return 0.0;
+    const auto& data = it->second.data;
+    if (const auto* scalar = std::get_if<double>(&data))
+        return *scalar;
+    if (const auto* vec = std::get_if<VectorData>(&data)) {
+        double total = 0.0;
+        for (const auto& [e, v] : vec->elems)
+            total += v;
+        return total;
+    }
+    if (const auto* hist = std::get_if<Histogram>(&data))
+        return static_cast<double>(hist->count);
+    return evaluateFormula(std::get<FormulaSpec>(data));
+}
+
+double
+StatsRegistry::evaluateFormula(const FormulaSpec& spec) const
+{
+    double numer = 0.0;
+    for (const auto& [name, coeff] : spec.numerator)
+        numer += coeff * evaluate(name);
+    double denom = 1.0;
+    if (!spec.denominator.empty()) {
+        denom = 0.0;
+        for (const auto& [name, coeff] : spec.denominator)
+            denom += coeff * evaluate(name);
+    }
+    if (denom == 0.0)
+        return 0.0;
+    const double value = spec.scale * numer / denom;
+    return std::isfinite(value) ? value : 0.0;
+}
+
+bool
+StatsRegistry::has(std::string_view name) const
+{
+    return stats_.find(name) != stats_.end();
+}
+
+void
+StatsRegistry::merge(const StatsRegistry& other)
+{
+    for (const auto& [name, entry] : other.stats_) {
+        if (const auto* scalar = std::get_if<double>(&entry.data)) {
+            addScalar(name, entry.desc, *scalar);
+        } else if (const auto* vec =
+                       std::get_if<VectorData>(&entry.data)) {
+            for (const auto& [elem, value] : vec->elems)
+                addVectorElem(name, elem, entry.desc, value);
+        } else if (const auto* hist =
+                       std::get_if<Histogram>(&entry.data)) {
+            addDistribution(name, entry.desc, *hist);
+        } else {
+            addFormula(name, entry.desc,
+                       std::get<FormulaSpec>(entry.data));
+        }
+    }
+}
+
+namespace
+{
+
+/** gem5 prints integral values without a fraction. */
+std::string
+fmtStatValue(double value)
+{
+    if (std::floor(value) == value && std::abs(value) < 1e15)
+        return format("%.0f", value);
+    return format("%.6f", value);
+}
+
+void
+statLine(std::ostream& out, const std::string& name, double value,
+         const std::string& desc)
+{
+    out << format("%-44s %18s  # %s\n", name.c_str(),
+                  fmtStatValue(value).c_str(), desc.c_str());
+}
+
+} // namespace
+
+void
+StatsRegistry::dump(std::ostream& out) const
+{
+    out << "---------- Begin Simulation Statistics ----------\n";
+    for (const auto& [name, entry] : stats_) {
+        const auto& data = entry.data;
+        if (const auto* scalar = std::get_if<double>(&data)) {
+            statLine(out, name, *scalar, entry.desc);
+        } else if (const auto* vec = std::get_if<VectorData>(&data)) {
+            double total = 0.0;
+            for (const auto& [elem, value] : vec->elems) {
+                statLine(out, name + "::" + elem, value, entry.desc);
+                total += value;
+            }
+            statLine(out, name + "::total", total, entry.desc);
+        } else if (const auto* hist = std::get_if<Histogram>(&data)) {
+            statLine(out, name + "::samples",
+                     static_cast<double>(hist->count), entry.desc);
+            statLine(out, name + "::mean", hist->mean(), entry.desc);
+            statLine(out, name + "::stdev", hist->stdev(), entry.desc);
+            statLine(out, name + "::min", hist->minSample, entry.desc);
+            statLine(out, name + "::max", hist->maxSample, entry.desc);
+            for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+                if (hist->buckets[i] == 0)
+                    continue;
+                const auto [lo, hi] = Histogram::bucketRange(i);
+                statLine(out,
+                         name + format("::%.0f-%.0f", lo, hi - 1),
+                         static_cast<double>(hist->buckets[i]),
+                         entry.desc);
+            }
+        } else {
+            statLine(out,
+                     name,
+                     evaluateFormula(std::get<FormulaSpec>(data)),
+                     entry.desc);
+        }
+    }
+    out << "---------- End Simulation Statistics   ----------\n";
+}
+
+void
+StatsRegistry::dumpJson(std::ostream& out) const
+{
+    JsonWriter json(out);
+    json.beginObject();
+    for (const auto& [name, entry] : stats_) {
+        json.key(name).beginObject();
+        const auto& data = entry.data;
+        if (const auto* scalar = std::get_if<double>(&data)) {
+            json.field("kind", "scalar");
+            json.field("value", *scalar);
+        } else if (const auto* vec = std::get_if<VectorData>(&data)) {
+            json.field("kind", "vector");
+            double total = 0.0;
+            json.key("values").beginObject();
+            for (const auto& [elem, value] : vec->elems) {
+                json.field(elem, value);
+                total += value;
+            }
+            json.endObject();
+            json.field("total", total);
+        } else if (const auto* hist = std::get_if<Histogram>(&data)) {
+            json.field("kind", "distribution");
+            json.field("samples", hist->count);
+            json.field("mean", hist->mean());
+            json.field("stdev", hist->stdev());
+            json.field("min", hist->minSample);
+            json.field("max", hist->maxSample);
+            json.key("buckets").beginArray();
+            for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+                if (hist->buckets[i] == 0)
+                    continue;
+                const auto [lo, hi] = Histogram::bucketRange(i);
+                json.beginObject();
+                json.field("lo", lo);
+                json.field("hi", hi);
+                json.field("count", hist->buckets[i]);
+                json.endObject();
+            }
+            json.endArray();
+        } else {
+            json.field("kind", "formula");
+            json.field("value",
+                       evaluateFormula(std::get<FormulaSpec>(data)));
+        }
+        json.field("desc", entry.desc);
+        json.endObject();
+    }
+    json.endObject();
+    out << '\n';
+}
+
+} // namespace scalesim::obs

@@ -1,0 +1,123 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace scalesim::obs
+{
+
+void
+TraceBuilder::setProcessName(std::uint32_t pid, std::string_view name)
+{
+    Event ev;
+    ev.phase = 'M';
+    ev.pid = pid;
+    ev.name = "process_name";
+    ev.stringArg = std::string(name);
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceBuilder::setThreadName(std::uint32_t pid, std::uint32_t tid,
+                            std::string_view name)
+{
+    Event ev;
+    ev.phase = 'M';
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.name = "thread_name";
+    ev.stringArg = std::string(name);
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceBuilder::addSpan(std::uint32_t pid, std::uint32_t tid,
+                      std::string_view name, std::string_view category,
+                      std::uint64_t ts, std::uint64_t dur,
+                      std::vector<std::pair<std::string, double>> args)
+{
+    Event ev;
+    ev.phase = 'X';
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.name = std::string(name);
+    ev.category = std::string(category);
+    ev.ts = ts;
+    // chrome://tracing drops zero-duration complete events; clamp to 1.
+    ev.dur = dur > 0 ? dur : 1;
+    ev.args = std::move(args);
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceBuilder::addCounter(std::uint32_t pid, std::string_view track,
+                         std::uint64_t ts, std::string_view series,
+                         double value)
+{
+    Event ev;
+    ev.phase = 'C';
+    ev.pid = pid;
+    ev.name = std::string(track);
+    ev.ts = ts;
+    ev.args.emplace_back(std::string(series), value);
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceBuilder::addMetadata(std::string_view key, std::string_view value)
+{
+    otherData_.emplace_back(std::string(key), std::string(value));
+}
+
+void
+TraceBuilder::write(std::ostream& out) const
+{
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("displayTimeUnit", "ms");
+    json.key("otherData").beginObject();
+    for (const auto& [key, value] : otherData_)
+        json.field(key, std::string_view(value));
+    json.endObject();
+    json.key("traceEvents").beginArray();
+    for (const Event& ev : events_) {
+        json.beginObject();
+        json.field("ph", std::string_view(&ev.phase, 1));
+        json.field("pid", ev.pid);
+        json.field("name", std::string_view(ev.name));
+        switch (ev.phase) {
+          case 'M':
+            json.field("tid", ev.tid);
+            json.key("args").beginObject();
+            json.field("name", std::string_view(ev.stringArg));
+            json.endObject();
+            break;
+          case 'C':
+            json.field("ts", ev.ts);
+            json.key("args").beginObject();
+            for (const auto& [series, value] : ev.args)
+                json.field(series, value);
+            json.endObject();
+            break;
+          default: // 'X'
+            json.field("tid", ev.tid);
+            json.field("cat", std::string_view(ev.category));
+            json.field("ts", ev.ts);
+            json.field("dur", ev.dur);
+            if (!ev.args.empty()) {
+                json.key("args").beginObject();
+                for (const auto& [key, value] : ev.args)
+                    json.field(key, value);
+                json.endObject();
+            }
+            break;
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    out << '\n';
+}
+
+} // namespace scalesim::obs

@@ -89,6 +89,8 @@ SparsityPattern::origK(std::uint64_t comp_k) const
 double
 SparsityPattern::density() const
 {
+    if (denseK_ == 0)
+        return 0.0;
     return static_cast<double>(compressedK())
         / static_cast<double>(denseK_);
 }

@@ -69,6 +69,8 @@ FoldGrid::utilization() const
 {
     const double pe_cycles = static_cast<double>(totalCycles())
         * rows_ * cols_;
+    if (pe_cycles <= 0.0)
+        return 0.0;
     return static_cast<double>(gemm_.macs()) / pe_cycles;
 }
 
@@ -79,6 +81,8 @@ FoldGrid::mappingEfficiency() const
         * static_cast<double>(mapped_.sc);
     const double fold_area = static_cast<double>(rowFolds_) * rows_
         * static_cast<double>(colFolds_) * cols_;
+    if (fold_area <= 0.0)
+        return 0.0;
     return mapped_area / fold_area;
 }
 

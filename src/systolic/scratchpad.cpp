@@ -257,6 +257,7 @@ DoubleBufferedScratchpad::runLayer(const FoldGrid& grid,
     const Cycle fold_len = static_cast<Cycle>(std::llround(
         static_cast<double>(grid.foldCycles()) * compute_scale));
     timing.computeCycles = fold_len * grid.numFolds();
+    timing.folds = grid.numFolds();
 
     const MemoryStats stats_before = memory_.stats();
 
@@ -381,6 +382,8 @@ DoubleBufferedScratchpad::runLayer(const FoldGrid& grid,
             const Cycle issue_base = first_fold
                 ? start_cycle
                 : std::max(prev_prefetch_done, buffer_free);
+            const Cycle read_stalls_before =
+                read_queue.fullStallCycles();
             Cycle ready = issue_base;
             for (const auto& span : plan.reads)
                 ready = std::max(ready, issueReads(span, issue_base,
@@ -399,12 +402,35 @@ DoubleBufferedScratchpad::runLayer(const FoldGrid& grid,
                 const Cycle last_issue = issueWrites(pending_span,
                                                      writes_base,
                                                      timing);
-                compute_end = std::max(compute_end, last_issue);
+                if (last_issue > compute_end) {
+                    timing.drainStallCycles += last_issue - compute_end;
+                    compute_end = last_issue;
+                }
                 pending_writeback = false;
             }
 
             const Cycle compute_start = std::max(compute_end, ready);
+            // Stall attribution: the wait for prefetch data splits
+            // into the share caused by a full read queue (bandwidth)
+            // and the genuine prefetch miss latency; writeback
+            // extensions were charged to drain above. The three
+            // buckets sum exactly to stallCycles.
+            const Cycle gap = compute_start - compute_end;
+            const Cycle queue_delay = read_queue.fullStallCycles()
+                - read_stalls_before;
+            const Cycle bandwidth_part = std::min(gap, queue_delay);
+            timing.bandwidthStallCycles += bandwidth_part;
+            timing.prefetchStallCycles += gap - bandwidth_part;
             const Cycle fold_end = compute_start + fold_len;
+            if (cfg_.recordFoldSpans
+                && timing.foldSpans.size()
+                    < LayerTiming::kMaxRecordedFoldSpans) {
+                timing.foldSpans.push_back(
+                    {compute_start - start_cycle,
+                     fold_end - start_cycle,
+                     static_cast<std::uint32_t>(rf),
+                     static_cast<std::uint32_t>(cf)});
+            }
 
             if (plan.hasWriteback) {
                 pending_writeback = true;
@@ -426,7 +452,10 @@ DoubleBufferedScratchpad::runLayer(const FoldGrid& grid,
         writes_base = std::max(writes_base, prev_compute_start);
         const Cycle last_issue = issueWrites(pending_span, writes_base,
                                              timing);
-        compute_end = std::max(compute_end, last_issue);
+        if (last_issue > compute_end) {
+            timing.drainStallCycles += last_issue - compute_end;
+            compute_end = last_issue;
+        }
     }
 
     timing.totalCycles = compute_end - start_cycle;
@@ -445,7 +474,55 @@ DoubleBufferedScratchpad::runLayer(const FoldGrid& grid,
     }
     readQueue_ = nullptr;
     writeQueue_ = nullptr;
+    totals_.accumulate(timing);
     return timing;
+}
+
+void
+DoubleBufferedScratchpad::registerStats(obs::StatsRegistry& reg,
+                                        const std::string& prefix) const
+{
+    auto name = [&](const char* leaf) { return prefix + "." + leaf; };
+    reg.addScalar(name("computeCycles"),
+                  "ideal compute cycles across layers",
+                  static_cast<double>(totals_.computeCycles));
+    reg.addScalar(name("totalCycles"),
+                  "wall-clock cycles incl. stalls across layers",
+                  static_cast<double>(totals_.totalCycles));
+    reg.addScalar(name("stallCycles"), "memory stall cycles",
+                  static_cast<double>(totals_.stallCycles));
+    reg.addScalar(name("folds"), "systolic folds executed",
+                  static_cast<double>(totals_.folds));
+    reg.addVectorElem(name("stallBreakdown"), "prefetchMiss",
+                      "stall cycles by cause (sums to stallCycles)",
+                      static_cast<double>(totals_.prefetchStallCycles));
+    reg.addVectorElem(name("stallBreakdown"), "drain",
+                      "stall cycles by cause (sums to stallCycles)",
+                      static_cast<double>(totals_.drainStallCycles));
+    reg.addVectorElem(
+        name("stallBreakdown"), "bandwidth",
+        "stall cycles by cause (sums to stallCycles)",
+        static_cast<double>(totals_.bandwidthStallCycles));
+    reg.addScalar(name("dramReadWords"), "main-memory words read",
+                  static_cast<double>(totals_.dramReadWords));
+    reg.addScalar(name("dramWriteWords"), "main-memory words written",
+                  static_cast<double>(totals_.dramWriteWords));
+    reg.addScalar(name("dramReadRequests"),
+                  "main-memory read transactions",
+                  static_cast<double>(totals_.dramReadRequests));
+    reg.addScalar(name("dramWriteRequests"),
+                  "main-memory write transactions",
+                  static_cast<double>(totals_.dramWriteRequests));
+    reg.addScalar(name("readQueueStalls"),
+                  "cycles lost to a full read queue",
+                  static_cast<double>(totals_.readQueueStalls));
+    reg.addScalar(name("writeQueueStalls"),
+                  "cycles lost to a full write queue",
+                  static_cast<double>(totals_.writeQueueStalls));
+    reg.addFormula(name("stallFraction"), "stallCycles / totalCycles",
+                   {{{name("stallCycles"), 1.0}},
+                    {{name("totalCycles"), 1.0}},
+                    1.0});
 }
 
 } // namespace scalesim::systolic

@@ -16,9 +16,11 @@
 #define SCALESIM_SYSTOLIC_SCRATCHPAD_HH
 
 #include <list>
+#include <string>
 #include <vector>
 #include <unordered_map>
 
+#include "obs/stats.hpp"
 #include "systolic/mapping.hpp"
 #include "systolic/memory.hpp"
 
@@ -46,6 +48,22 @@ struct ScratchpadConfig
      * resident share of each SRAM shrinks to 1/(depth+1).
      */
     std::uint32_t prefetchDepth = 1;
+
+    /**
+     * Record per-fold compute spans into LayerTiming::foldSpans (for
+     * timeline/trace export). Off by default: large layers have many
+     * folds and sweeps don't need them.
+     */
+    bool recordFoldSpans = false;
+};
+
+/** One fold's compute interval, relative to the layer's start cycle. */
+struct FoldSpan
+{
+    Cycle start = 0;
+    Cycle end = 0;
+    std::uint32_t rowFold = 0;
+    std::uint32_t colFold = 0;
 };
 
 /** Timing and traffic results of one layer run. */
@@ -57,6 +75,29 @@ struct LayerTiming
     Cycle totalCycles = 0;
     /** totalCycles - computeCycles. */
     Cycle stallCycles = 0;
+
+    /**
+     * Stall breakdown by cause; the three buckets sum exactly to
+     * stallCycles. `prefetchStallCycles` is compute waiting on operand
+     * prefetch data, `bandwidthStallCycles` is the share of that wait
+     * attributable to a full read request queue, and
+     * `drainStallCycles` is ofmap-writeback back-pressure extending
+     * the layer past the last fold's compute.
+     */
+    Cycle prefetchStallCycles = 0;
+    Cycle drainStallCycles = 0;
+    Cycle bandwidthStallCycles = 0;
+
+    /**
+     * Per-fold compute spans (only when
+     * ScratchpadConfig::recordFoldSpans is set; capped at
+     * kMaxRecordedFoldSpans per layer).
+     */
+    std::vector<FoldSpan> foldSpans;
+    static constexpr std::size_t kMaxRecordedFoldSpans = 8192;
+
+    /** Folds the systolic engine executed (rowFolds x colFolds). */
+    Count folds = 0;
 
     std::uint64_t dramReadWords = 0;
     std::uint64_t dramWriteWords = 0;
@@ -88,6 +129,10 @@ struct LayerTiming
         computeCycles += other.computeCycles;
         totalCycles += other.totalCycles;
         stallCycles += other.stallCycles;
+        prefetchStallCycles += other.prefetchStallCycles;
+        drainStallCycles += other.drainStallCycles;
+        bandwidthStallCycles += other.bandwidthStallCycles;
+        folds += other.folds;
         dramReadWords += other.dramReadWords;
         dramWriteWords += other.dramWriteWords;
         dramReadRequests += other.dramReadRequests;
@@ -154,6 +199,17 @@ class DoubleBufferedScratchpad
     /** Drop residency state (new workload / new core). */
     void reset();
 
+    /** Timing totals accumulated across every runLayer call. */
+    const LayerTiming& totals() const { return totals_; }
+
+    /**
+     * Register cumulative scratchpad stats under `prefix` (e.g.
+     * "spad"): cycle totals, the stall-reason breakdown, DRAM traffic
+     * and queue-stall counters, plus derived fractions.
+     */
+    void registerStats(obs::StatsRegistry& reg,
+                       const std::string& prefix) const;
+
     /** Strided address range of one operand tile in DRAM. */
     struct TileSpan
     {
@@ -182,6 +238,8 @@ class DoubleBufferedScratchpad
     MainMemory& memory_;
     TileCache ifmapCache_;
     TileCache filterCache_;
+    /** Cumulative timing across layers (observability). */
+    LayerTiming totals_;
     // Valid only while runLayer is executing.
     RequestQueue* readQueue_ = nullptr;
     RequestQueue* writeQueue_ = nullptr;

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the observability substrate: the stats registry (scalar /
+ * vector / distribution / formula semantics, merging, deterministic
+ * dumps), the streaming JSON writer, the Chrome-trace builder, and the
+ * determinism contract of detailed DSE sweeps (parallel stats dumps
+ * byte-identical to sequential ones).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/workloads.hpp"
+#include "core/dse.hpp"
+#include "obs/json.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+
+#include "json_check.hpp"
+
+using namespace scalesim;
+
+TEST(Histogram, BucketsByPowerOfTwo)
+{
+    obs::Histogram h;
+    h.sample(0.0);
+    h.sample(1.0);
+    h.sample(2.0);
+    h.sample(3.0);
+    h.sample(1000.0);
+    EXPECT_EQ(h.count, 5u);
+    EXPECT_EQ(h.buckets[0], 1u); // zero
+    EXPECT_EQ(h.buckets[1], 1u); // [1, 2)
+    EXPECT_EQ(h.buckets[2], 2u); // [2, 4)
+    EXPECT_DOUBLE_EQ(h.minSample, 0.0);
+    EXPECT_DOUBLE_EQ(h.maxSample, 1000.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 1006.0 / 5.0);
+}
+
+TEST(Histogram, MergeAddsCountsAndMoments)
+{
+    obs::Histogram a, b;
+    a.sample(1.0);
+    a.sample(2.0);
+    b.sample(8.0);
+    a.merge(b);
+    EXPECT_EQ(a.count, 3u);
+    EXPECT_DOUBLE_EQ(a.sum, 11.0);
+    EXPECT_DOUBLE_EQ(a.maxSample, 8.0);
+    EXPECT_DOUBLE_EQ(a.minSample, 1.0);
+}
+
+TEST(Histogram, EmptyHasNoNan)
+{
+    obs::Histogram h;
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.stdev(), 0.0);
+}
+
+TEST(StatsRegistry, ScalarsAccumulate)
+{
+    obs::StatsRegistry reg;
+    reg.addScalar("a.x", "x", 2.0);
+    reg.addScalar("a.x", "x", 3.0);
+    EXPECT_DOUBLE_EQ(reg.scalarValue("a.x"), 5.0);
+    EXPECT_DOUBLE_EQ(reg.scalarValue("absent"), 0.0);
+}
+
+TEST(StatsRegistry, VectorElementsAccumulateAndTotal)
+{
+    obs::StatsRegistry reg;
+    reg.addVectorElem("v", "e0", "v", 1.0);
+    reg.addVectorElem("v", "e1", "v", 2.0);
+    reg.addVectorElem("v", "e0", "v", 10.0);
+    EXPECT_DOUBLE_EQ(reg.evaluate("v"), 13.0); // vector total
+}
+
+TEST(StatsRegistry, FormulaEvaluatesAgainstRegistry)
+{
+    obs::StatsRegistry reg;
+    reg.addScalar("hits", "h", 30.0);
+    reg.addScalar("misses", "m", 10.0);
+    obs::FormulaSpec rate;
+    rate.numerator = {{"hits", 1.0}};
+    rate.denominator = {{"hits", 1.0}, {"misses", 1.0}};
+    reg.addFormula("hitRate", "hits / accesses", rate);
+    EXPECT_DOUBLE_EQ(reg.evaluate("hitRate"), 0.75);
+}
+
+TEST(StatsRegistry, FormulaZeroDenominatorIsZeroNotNan)
+{
+    obs::StatsRegistry reg;
+    reg.addScalar("num", "n", 5.0);
+    obs::FormulaSpec f;
+    f.numerator = {{"num", 1.0}};
+    f.denominator = {{"absent", 1.0}};
+    reg.addFormula("ratio", "r", f);
+    const double v = reg.evaluate("ratio");
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(StatsRegistry, MergeAddsAndDumpIsDeterministic)
+{
+    obs::StatsRegistry a, b;
+    a.addScalar("s", "s", 1.0);
+    a.addVectorElem("v", "e", "v", 2.0);
+    obs::Histogram h;
+    h.sample(4.0);
+    a.addDistribution("d", "d", h);
+
+    b.addScalar("s", "s", 9.0);
+    b.addVectorElem("v", "e", "v", 3.0);
+    b.addDistribution("d", "d", h);
+
+    obs::StatsRegistry ab = a;
+    ab.merge(b);
+    obs::StatsRegistry ba = b;
+    ba.merge(a);
+    EXPECT_DOUBLE_EQ(ab.scalarValue("s"), 10.0);
+
+    std::ostringstream out_ab, out_ba;
+    ab.dump(out_ab);
+    ba.dump(out_ba);
+    EXPECT_EQ(out_ab.str(), out_ba.str());
+    EXPECT_NE(out_ab.str().find("Begin Simulation Statistics"),
+              std::string::npos);
+}
+
+TEST(StatsRegistry, DumpJsonParses)
+{
+    obs::StatsRegistry reg;
+    reg.addScalar("sim.cycles", "cycles", 42.0);
+    reg.addVectorElem("spad.stallBreakdown", "drain", "stalls", 7.0);
+    obs::Histogram h;
+    h.sample(3.0);
+    reg.addDistribution("dram.queueOccupancy", "occupancy", h);
+    obs::FormulaSpec f;
+    f.numerator = {{"sim.cycles", 1.0}};
+    reg.addFormula("sim.rate", "rate", f);
+
+    std::ostringstream out;
+    reg.dumpJson(out);
+    jsoncheck::Value doc;
+    ASSERT_TRUE(jsoncheck::valid(out.str(), doc));
+    ASSERT_EQ(doc.kind, jsoncheck::Value::Kind::Object);
+    const jsoncheck::Value* cycles = doc.find("sim.cycles");
+    ASSERT_NE(cycles, nullptr);
+    const jsoncheck::Value* value = cycles->find("value");
+    ASSERT_NE(value, nullptr);
+    EXPECT_DOUBLE_EQ(value->number, 42.0);
+}
+
+TEST(JsonWriter, ProducesValidNestedDocument)
+{
+    std::ostringstream out;
+    obs::JsonWriter json(out);
+    json.beginObject();
+    json.field("name", "run \"x\" \n tab\t");
+    json.field("count", static_cast<std::uint64_t>(7));
+    json.key("list").beginArray();
+    json.value(1.5);
+    json.value(true);
+    json.null();
+    json.endArray();
+    json.key("nested").beginObject();
+    json.field("deep", -3);
+    json.endObject();
+    json.endObject();
+
+    jsoncheck::Value doc;
+    ASSERT_TRUE(jsoncheck::valid(out.str(), doc));
+    EXPECT_EQ(doc.find("count")->number, 7.0);
+    EXPECT_EQ(doc.find("list")->items.size(), 3u);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream out;
+    obs::JsonWriter json(out);
+    json.beginObject();
+    json.field("a", std::numeric_limits<double>::quiet_NaN());
+    json.field("b", std::numeric_limits<double>::infinity());
+    json.endObject();
+    const std::string text = out.str();
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_EQ(text.find("inf"), std::string::npos);
+    jsoncheck::Value doc;
+    ASSERT_TRUE(jsoncheck::valid(text, doc));
+    EXPECT_EQ(doc.find("a")->kind, jsoncheck::Value::Kind::Null);
+    EXPECT_EQ(doc.find("b")->kind, jsoncheck::Value::Kind::Null);
+}
+
+TEST(TraceBuilder, EmitsValidChromeTraceJson)
+{
+    obs::TraceBuilder trace;
+    trace.setProcessName(0, "accelerator");
+    trace.setThreadName(0, 0, "layers");
+    trace.addSpan(0, 0, "conv1", "layer", 0, 100,
+                  {{"utilization", 0.5}});
+    trace.addCounter(0, "power_W", 0, "power", 1.25);
+    trace.addMetadata("workload", "tiny");
+
+    std::ostringstream out;
+    trace.write(out);
+    jsoncheck::Value doc;
+    ASSERT_TRUE(jsoncheck::valid(out.str(), doc));
+    const jsoncheck::Value* events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->kind, jsoncheck::Value::Kind::Array);
+    // 2 metadata + 1 span + 1 counter.
+    EXPECT_EQ(events->items.size(), 4u);
+    bool saw_span = false, saw_counter = false;
+    for (const auto& ev : events->items) {
+        const jsoncheck::Value* ph = ev.find("ph");
+        ASSERT_NE(ph, nullptr);
+        saw_span = saw_span || ph->text == "X";
+        saw_counter = saw_counter || ph->text == "C";
+    }
+    EXPECT_TRUE(saw_span);
+    EXPECT_TRUE(saw_counter);
+}
+
+namespace
+{
+
+Topology
+tinyTopology()
+{
+    Topology topo;
+    topo.name = "tiny";
+    topo.layers.push_back(LayerSpec::conv("conv", 14, 14, 3, 3, 8, 16,
+                                          1));
+    topo.layers.push_back(LayerSpec::gemm("fc", 4, 32, 64));
+    return topo;
+}
+
+core::DseSweep
+smallSweep(unsigned jobs)
+{
+    core::DseSweep sweep;
+    sweep.arraySizes = {8, 16};
+    sweep.dataflows = {Dataflow::OutputStationary,
+                       Dataflow::WeightStationary};
+    sweep.sramKbTotals = {256};
+    sweep.base.mode = SimMode::Analytical;
+    sweep.jobs = jobs;
+    return sweep;
+}
+
+} // namespace
+
+TEST(DseDetailed, ParallelStatsDumpsMatchSequential)
+{
+    const Topology topo = tinyTopology();
+    const auto seq = core::runSweepDetailed(smallSweep(1), topo);
+    const auto par = core::runSweepDetailed(smallSweep(4), topo);
+    ASSERT_EQ(seq.size(), par.size());
+
+    // Per-point dumps are byte-identical regardless of jobs.
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        std::ostringstream s, p;
+        seq[i].stats.dump(s);
+        par[i].stats.dump(p);
+        EXPECT_EQ(s.str(), p.str()) << "point " << i;
+        EXPECT_FALSE(seq[i].stats.empty());
+    }
+
+    // And so is the index-order merged aggregate.
+    std::ostringstream s, p;
+    core::mergeSweepStats(seq).dump(s);
+    core::mergeSweepStats(par).dump(p);
+    EXPECT_EQ(s.str(), p.str());
+}
+
+TEST(DseDetailed, RunSweepMatchesDetailedPoints)
+{
+    const Topology topo = tinyTopology();
+    const auto points = core::runSweep(smallSweep(1), topo);
+    const auto detailed = core::runSweepDetailed(smallSweep(1), topo);
+    ASSERT_EQ(points.size(), detailed.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].cycles, detailed[i].point.cycles);
+        EXPECT_DOUBLE_EQ(points[i].energyMj,
+                         detailed[i].point.energyMj);
+    }
+}
