@@ -39,6 +39,9 @@ usage()
         "                    [-w workload] [-o output_dir] [-s]\n"
         "                    [--stats file] [--stats-json file]\n"
         "                    [--trace file] [--json file]\n"
+        "                    [--no-fold-cache]\n"
+        "  --no-fold-cache disable the fold-replay demand cache\n"
+        "               (same outputs, slower trace mode)\n"
         "  --stats      gem5-format stats.txt dump\n"
         "  --stats-json machine-readable stats dump\n"
         "  --json       full run report as one JSON document\n"
@@ -64,6 +67,7 @@ main(int argc, char** argv)
     std::string json_path;
     std::string trace_path;
     bool write_traces = false;
+    bool fold_cache = true;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -91,6 +95,8 @@ main(int argc, char** argv)
             json_path = next();
         } else if (arg == "--trace") {
             trace_path = next();
+        } else if (arg == "--no-fold-cache") {
+            fold_cache = false;
         } else {
             usage();
             return arg == "-h" || arg == "--help" ? 0 : 1;
@@ -109,6 +115,8 @@ main(int argc, char** argv)
             : Topology::load(topology_path);
         if (!trace_path.empty())
             cfg.memory.recordFoldSpans = true;
+        if (!fold_cache)
+            cfg.foldCache = false;
 
         inform("running %s (%zu layers) on a %ux%u %s array",
                topo.name.c_str(), topo.layers.size(), cfg.arrayRows,
@@ -162,6 +170,8 @@ main(int argc, char** argv)
             std::ofstream filter_out(out_dir
                                      + "/FILTER_SRAM_TRACE.csv");
             std::ofstream ofmap_out(out_dir + "/OFMAP_SRAM_TRACE.csv");
+            std::ofstream oread_out(out_dir
+                                    + "/OFMAP_READ_SRAM_TRACE.csv");
             systolic::BandwidthMemory inner(
                 cfg.memory.bandwidthWordsPerCycle);
             systolic::TracingMemory tracer(inner,
@@ -180,9 +190,11 @@ main(int argc, char** argv)
                 systolic::DemandGenerator gen(
                     layer.toGemm(), cfg.dataflow, cfg.arrayRows,
                     cfg.arrayCols, operands);
+                gen.setFoldCache(cfg.foldCache);
                 systolic::SramTraceWriter writer(&ifmap_out,
                                                  &filter_out,
-                                                 &ofmap_out);
+                                                 &ofmap_out,
+                                                 &oread_out);
                 gen.run(writer);
                 spad.reset();
                 spad.runLayer(gen.grid(), operands);

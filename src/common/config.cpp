@@ -237,6 +237,8 @@ SimConfig::fromIni(const IniFile& ini)
     cfg.memory.recordFoldSpans = ini.getBool(
         "architecture", "RecordFoldSpans",
         cfg.memory.recordFoldSpans);
+    cfg.foldCache = ini.getBool("architecture", "FoldCache",
+                                cfg.foldCache);
     cfg.simdLanes = static_cast<std::uint32_t>(ini.getInt(
         "architecture", "SimdLanes", cfg.simdLanes));
     cfg.simdLatencyPerOp = static_cast<std::uint32_t>(ini.getInt(

@@ -183,6 +183,13 @@ struct SimConfig
     Dataflow dataflow = Dataflow::OutputStationary;
     SimMode mode = SimMode::Trace;
 
+    /**
+     * Fold-replay demand cache for trace mode: generate each fold
+     * equivalence class once and replay shifted copies. Identical
+     * output either way; off trades speed for simpler debugging.
+     */
+    bool foldCache = true;
+
     /** Vector/SIMD unit next to the array (§III-C). */
     std::uint32_t simdLanes = 16;
     /** Cycles per vector instruction (customizable latency). */

@@ -121,6 +121,7 @@ Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
         systolic::DemandGenerator generator(
             result.denseGemm, cfg_.dataflow, cfg_.arrayRows,
             cfg_.arrayCols, operands, gather);
+        generator.setFoldCache(cfg_.foldCache);
         std::vector<systolic::DemandVisitor*> sinks;
         if (cfg_.layout.enabled) {
             layout_eval.emplace(
@@ -135,8 +136,11 @@ Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
             sinks.push_back(&*action_visitor);
         }
         systolic::TeeVisitor tee(std::move(sinks));
-        const auto prof = profiler_.scope(SimPhase::DemandGen);
-        generator.run(tee);
+        {
+            const auto prof = profiler_.scope(SimPhase::DemandGen);
+            generator.run(tee);
+        }
+        foldCacheStats_.merge(generator.foldCacheStats());
     }
     if (layout_eval)
         result.layoutSlowdown = layout_eval->slowdown();
@@ -275,6 +279,29 @@ Simulator::registerStats(obs::StatsRegistry& reg) const
     if (dram_)
         dram_->system().registerStats(reg, "dram");
     scratchpad_->registerStats(reg, "spad");
+
+    // Fold-replay demand cache. These counters describe the
+    // simulator's own work, not the modeled hardware: they are the
+    // only stats allowed to differ between foldCache on/off runs.
+    reg.addScalar("sim.foldCache.folds", "demand folds generated",
+                  static_cast<double>(foldCacheStats_.foldsTotal));
+    reg.addScalar("sim.foldCache.replayed",
+                  "folds replayed from a cached canonical fold",
+                  static_cast<double>(foldCacheStats_.foldsReplayed));
+    reg.addScalar("sim.foldCache.live",
+                  "folds generated live (captures + fallbacks)",
+                  static_cast<double>(foldCacheStats_.foldsLive));
+    reg.addScalar("sim.foldCache.addrsReplayed",
+                  "addresses emitted from cache arenas",
+                  static_cast<double>(foldCacheStats_.addrsReplayed));
+    reg.addScalar("sim.foldCache.bytesSaved",
+                  "address bytes that skipped live generation",
+                  static_cast<double>(foldCacheStats_.bytesSaved()));
+    obs::FormulaSpec hit_rate;
+    hit_rate.numerator = {{"sim.foldCache.replayed", 1.0}};
+    hit_rate.denominator = {{"sim.foldCache.folds", 1.0}};
+    reg.addFormula("sim.foldCache.hitRate",
+                   "replayed / folds", hit_rate);
 
     const systolic::MemoryStats& mem = memory_->stats();
     reg.addScalar("mem.readRequests", "main-memory read requests",

@@ -160,6 +160,12 @@ class Simulator
     /** Self-profiling counters accumulated across runLayer calls. */
     SimProfile profile() const { return profiler_.snapshot(); }
 
+    /** Fold-cache counters accumulated across runLayer calls. */
+    const systolic::FoldCacheStats& foldCacheStats() const
+    {
+        return foldCacheStats_;
+    }
+
     /**
      * Register component-state stats (dram.*, spad.*, mem.*) into a
      * registry. Called by run() on the result's registry; exposed for
@@ -178,6 +184,8 @@ class Simulator
     std::unique_ptr<energy::EnergyModel> energyModel_;
     /** Running clock across layers (keeps memory time aligned). */
     Cycle timeline_ = 0;
+    /** Demand-generation fold-cache counters across layers. */
+    systolic::FoldCacheStats foldCacheStats_;
     /** Wall-clock/RSS self-measurement of this instance's runs. */
     SimProfiler profiler_;
 };

@@ -29,7 +29,7 @@ Channel::Channel(const DramTiming& timing, std::uint32_t ranks,
     : timing_(timing), reorderWindow_(reorder_window),
       hitStreakCap_(hit_streak_cap), policy_(policy),
       banks_(static_cast<std::size_t>(ranks) * timing.banksPerRank),
-      bankStats_(banks_.size())
+      bankStats_(banks_.size()), nextRefresh_(ranks, timing.tREFI)
 {
     if (ranks == 0)
         fatal("channel must have at least one rank");
@@ -96,24 +96,34 @@ Channel::serviceOne(const Pending& req)
     Bank& bank = banks_[gbank];
     Cycle dt = std::max(req.arrival, lastColCmd_);
 
-    // All-bank refresh: every tREFI the rank precharges and refreshes
-    // for tRFC; requests due during the window wait for it, and every
-    // row buffer comes back closed.
+    // All-bank refresh, per rank: every tREFI the rank precharges and
+    // refreshes for tRFC; requests to it during the window wait, and
+    // its row buffers come back closed. Other ranks keep their open
+    // rows — tREFI/tRFC are rank-local timings.
     if (timing_.tREFI > 0) {
-        while (nextRefresh_ + timing_.tREFI <= dt) {
-            nextRefresh_ += timing_.tREFI;
-            ++stats_.refreshes;
-        }
-        const Cycle refresh_end = nextRefresh_ + timing_.tRFC;
-        if (dt >= nextRefresh_ && dt < refresh_end) {
-            // Refresh in progress: banks close, request waits.
-            for (Bank& b : banks_) {
-                b.open = false;
-                b.preReady = std::max(b.preReady, refresh_end);
+        Cycle& next = nextRefresh_[req.addr.rank];
+        const std::size_t first =
+            static_cast<std::size_t>(req.addr.rank)
+            * timing_.banksPerRank;
+        auto refreshRank = [&](Cycle end) {
+            for (std::size_t b = first;
+                 b < first + timing_.banksPerRank; ++b) {
+                banks_[b].open = false;
+                banks_[b].preReady = std::max(banks_[b].preReady, end);
             }
             ++stats_.refreshes;
-            nextRefresh_ += timing_.tREFI;
-            dt = refresh_end;
+            next += timing_.tREFI;
+        };
+        // Refreshes whose window already closed before this request:
+        // exactly one count per elapsed tREFI, each leaving the rank's
+        // rows closed as of its end.
+        while (next + timing_.tRFC <= dt)
+            refreshRank(next + timing_.tRFC);
+        // Refresh in progress (or due) at dt: the request waits it out.
+        if (dt >= next) {
+            const Cycle end = next + timing_.tRFC;
+            refreshRank(end);
+            dt = end;
         }
     }
 
@@ -256,7 +266,7 @@ Channel::registerStats(obs::StatsRegistry& reg,
     reg.addScalar(name("rowConflicts"),
                   "row-buffer conflicts (wrong row open)",
                   static_cast<double>(stats_.rowConflicts));
-    reg.addScalar(name("refreshes"), "all-bank refresh operations",
+    reg.addScalar(name("refreshes"), "per-rank all-bank refreshes",
                   static_cast<double>(stats_.refreshes));
     reg.addScalar(name("readBytes"), "bytes read from DRAM",
                   static_cast<double>(stats_.readBytes));

@@ -61,7 +61,7 @@ struct DramStats
     Count rowHits = 0;
     Count rowMisses = 0;
     Count rowConflicts = 0;
-    /** All-bank refresh operations performed. */
+    /** Per-rank all-bank refresh operations performed. */
     Count refreshes = 0;
     std::uint64_t readBytes = 0;
     std::uint64_t writeBytes = 0;
@@ -192,8 +192,12 @@ class Channel
     bool lastWasWrite_ = false;
     Cycle lastWriteDataEnd_ = 0;
     Cycle lastActAny_ = 0;
-    /** Start of the next due refresh window (tREFI cadence). */
-    Cycle nextRefresh_ = 0;
+    /**
+     * Start of each rank's next due refresh window (tREFI cadence,
+     * first due one tREFI after reset). tREFI/tRFC are per-rank: a
+     * refresh closes only that rank's row buffers.
+     */
+    std::vector<Cycle> nextRefresh_;
     std::deque<Cycle> actWindow_;
     std::uint64_t nextSeq_ = 0;
     // Completions of serviced requests awaiting retrieval.

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "systolic/fold_cache.hpp"
 
 namespace scalesim::systolic
 {
@@ -21,6 +22,82 @@ effectiveGemm(const GemmDims& dense, const KGatherMap* gather)
                   static_cast<unsigned long long>(eff.k));
     }
     return eff;
+}
+
+constexpr std::uint64_t kNoClass = ~static_cast<std::uint64_t>(0);
+
+/**
+ * Conv ifmap m-window equivalence class of output pixels
+ * [m_lo, m_lo + span). Two windows are shift-equivalent iff both sit
+ * inside a single image and their in-image offsets agree modulo one
+ * output row (same ow column, oh shifted uniformly). Windows spanning
+ * an image boundary shift non-uniformly, so they get no class.
+ */
+std::uint64_t
+convMClass(const OperandMap& op, std::uint64_t m_lo, std::uint64_t span)
+{
+    const std::uint64_t pixels = op.dims.m / op.batch;
+    if (pixels == 0 || op.ofmapW == 0 || span == 0)
+        return kNoClass;
+    if (m_lo / pixels != (m_lo + span - 1) / pixels)
+        return kNoClass;
+    return (m_lo % pixels) % op.ofmapW;
+}
+
+/**
+ * Conv ifmap k-window class: reduction ranges [k_lo, k_lo + span)
+ * shift affinely iff their bases agree modulo one filter row
+ * (filterW * channels words), which keeps (kw, c) fixed and moves kh
+ * uniformly.
+ */
+std::uint64_t
+convKClass(const OperandMap& op, std::uint64_t k_lo)
+{
+    const std::uint64_t row = op.filterW * op.channels;
+    return row == 0 ? kNoClass : k_lo % row;
+}
+
+/** Ifmap address shift between two same-class m-bases. */
+std::int64_t
+ifmapShiftM(const OperandMap& op, std::uint64_t m_from,
+            std::uint64_t m_to)
+{
+    if (!op.conv) {
+        return (static_cast<std::int64_t>(m_to)
+                - static_cast<std::int64_t>(m_from))
+            * static_cast<std::int64_t>(op.dims.k);
+    }
+    const std::uint64_t pixels = op.dims.m / op.batch;
+    const std::int64_t dimg = static_cast<std::int64_t>(m_to / pixels)
+        - static_cast<std::int64_t>(m_from / pixels);
+    // Same class => the in-image offsets differ by whole output rows.
+    const std::int64_t drow =
+        (static_cast<std::int64_t>(m_to % pixels)
+         - static_cast<std::int64_t>(m_from % pixels))
+        / static_cast<std::int64_t>(op.ofmapW);
+    return dimg
+        * static_cast<std::int64_t>(op.ifmapH * op.ifmapW * op.channels)
+        + drow
+        * static_cast<std::int64_t>(op.stride * op.ifmapW * op.channels);
+}
+
+/** Ifmap address shift between two same-class k-bases. */
+std::int64_t
+ifmapShiftK(const OperandMap& op, std::uint64_t k_from,
+            std::uint64_t k_to)
+{
+    if (!op.conv) {
+        return static_cast<std::int64_t>(k_to)
+            - static_cast<std::int64_t>(k_from);
+    }
+    // Same class => the bases differ by whole filter rows, each of
+    // which moves the window one ifmap row down.
+    const std::int64_t drows =
+        (static_cast<std::int64_t>(k_to)
+         - static_cast<std::int64_t>(k_from))
+        / static_cast<std::int64_t>(op.filterW * op.channels);
+    return drows
+        * static_cast<std::int64_t>(op.ifmapW * op.channels);
 }
 
 } // namespace
@@ -46,22 +123,185 @@ DemandGenerator::DemandGenerator(const GemmDims& gemm, Dataflow df,
 void
 DemandGenerator::run(DemandVisitor& visitor) const
 {
+    cacheStats_ = {};
+    if (foldCache_ && grid_.numFolds() > 1) {
+        runCached(visitor);
+        return;
+    }
     visitor.beginLayer(grid_, operands_);
     Cycle fold_start = 0;
     const Cycle fold_len = grid_.foldCycles();
     for (std::uint64_t rf = 0; rf < grid_.rowFolds(); ++rf) {
         for (std::uint64_t cf = 0; cf < grid_.colFolds(); ++cf) {
             visitor.beginFold(rf, cf, fold_start);
-            switch (grid_.dataflow()) {
-              case Dataflow::OutputStationary:
-                runFoldOs(visitor, rf, cf, fold_start);
-                break;
-              case Dataflow::WeightStationary:
-                runFoldWs(visitor, rf, cf, fold_start);
-                break;
-              case Dataflow::InputStationary:
-                runFoldIs(visitor, rf, cf, fold_start);
-                break;
+            runFold(visitor, rf, cf, fold_start);
+            ++cacheStats_.foldsTotal;
+            ++cacheStats_.foldsLive;
+            fold_start += fold_len;
+            visitor.endFold(rf, cf, fold_start);
+        }
+    }
+    visitor.endLayer(fold_start);
+}
+
+void
+DemandGenerator::runFold(DemandVisitor& visitor, std::uint64_t rf,
+                         std::uint64_t cf, Cycle fold_start) const
+{
+    switch (grid_.dataflow()) {
+      case Dataflow::OutputStationary:
+        runFoldOs(visitor, rf, cf, fold_start);
+        break;
+      case Dataflow::WeightStationary:
+        runFoldWs(visitor, rf, cf, fold_start);
+        break;
+      case Dataflow::InputStationary:
+        runFoldIs(visitor, rf, cf, fold_start);
+        break;
+    }
+}
+
+bool
+DemandGenerator::replayKey(std::uint64_t rf, std::uint64_t cf,
+                           std::uint64_t& key) const
+{
+    // The filter (K x N row-major) and ofmap (M x N row-major) streams
+    // are affine in both fold bases for every dataflow, so only the
+    // ifmap mapping decides the equivalence class.
+    switch (grid_.dataflow()) {
+      case Dataflow::OutputStationary: {
+        if (!operands_.conv) {
+            key = 0;
+            return true;
+        }
+        const std::uint64_t mcls = convMClass(
+            operands_, rf * grid_.arrayRows(), grid_.tileRows(rf));
+        if (mcls == kNoClass)
+            return false;
+        key = 1 + mcls;
+        return true;
+      }
+      case Dataflow::WeightStationary: {
+        if (gather_) {
+            // origK() breaks the affine k mapping: row folds are
+            // incomparable, but the column folds of one row fold all
+            // stream the same gathered ifmap rows (delta 0).
+            key = (1ull << 32) + rf;
+            return true;
+        }
+        if (!operands_.conv) {
+            key = 0;
+            return true;
+        }
+        const std::uint64_t kcls = convKClass(
+            operands_, rf * grid_.arrayRows());
+        if (kcls == kNoClass)
+            return false;
+        key = 1 + kcls;
+        return true;
+      }
+      case Dataflow::InputStationary: {
+        if (!operands_.conv) {
+            key = 0;
+            return true;
+        }
+        const std::uint64_t mcls = convMClass(
+            operands_, cf * grid_.arrayCols(), grid_.tileCols(cf));
+        const std::uint64_t kcls = convKClass(
+            operands_, rf * grid_.arrayRows());
+        if (mcls == kNoClass || kcls == kNoClass)
+            return false;
+        key = 1 + mcls * (operands_.filterW * operands_.channels)
+            + kcls;
+        return true;
+      }
+    }
+    return false;
+}
+
+ReplayDeltas
+DemandGenerator::replayDeltas(const FoldCacheEntry& entry,
+                              std::uint64_t rf, std::uint64_t cf) const
+{
+    const std::uint64_t rows = grid_.arrayRows();
+    const std::uint64_t cols = grid_.arrayCols();
+    const std::int64_t dsr =
+        (static_cast<std::int64_t>(rf)
+         - static_cast<std::int64_t>(entry.rf))
+        * static_cast<std::int64_t>(rows);
+    const std::int64_t dsc =
+        (static_cast<std::int64_t>(cf)
+         - static_cast<std::int64_t>(entry.cf))
+        * static_cast<std::int64_t>(cols);
+    const std::int64_t n = static_cast<std::int64_t>(operands_.dims.n);
+    ReplayDeltas d;
+    switch (grid_.dataflow()) {
+      case Dataflow::OutputStationary:
+        // ifmap A[m, t], filter B[t, n], ofmap O[m, n].
+        d.ifmap = ifmapShiftM(operands_, entry.rf * rows, rf * rows);
+        d.filter = dsc;
+        d.ofmap = dsr * n + dsc;
+        break;
+      case Dataflow::WeightStationary:
+        // ifmap A[t, k] (gathered k repeats across column folds),
+        // filter B[k, n] stationary, ofmap O[t, n].
+        d.ifmap = gather_
+            ? 0 : ifmapShiftK(operands_, entry.rf * rows, rf * rows);
+        d.filter = dsr * n + dsc;
+        d.ofmap = dsc;
+        break;
+      case Dataflow::InputStationary:
+        // ifmap A[m, k] stationary, filter B[k, t], ofmap O[m, t].
+        d.ifmap = ifmapShiftM(operands_, entry.cf * cols, cf * cols)
+            + ifmapShiftK(operands_, entry.rf * rows, rf * rows);
+        d.filter = dsr * n;
+        d.ofmap = dsc * n;
+        break;
+    }
+    return d;
+}
+
+void
+DemandGenerator::runCached(DemandVisitor& visitor) const
+{
+    visitor.beginLayer(grid_, operands_);
+    const Cycle fold_len = grid_.foldCycles();
+    // Replay requires the candidate fold to have the canonical (first
+    // fold's) tile shape; ragged edge folds fall back to live.
+    const std::uint64_t ctr = grid_.tileRows(0);
+    const std::uint64_t ctc = grid_.tileCols(0);
+    const bool os = grid_.dataflow() == Dataflow::OutputStationary;
+    FoldReplayCache cache;
+    FoldReplayScratch scratch;
+    Cycle fold_start = 0;
+    for (std::uint64_t rf = 0; rf < grid_.rowFolds(); ++rf) {
+        for (std::uint64_t cf = 0; cf < grid_.colFolds(); ++cf) {
+            visitor.beginFold(rf, cf, fold_start);
+            ++cacheStats_.foldsTotal;
+            bool handled = false;
+            std::uint64_t key = 0;
+            if (grid_.tileRows(rf) == ctr && grid_.tileCols(cf) == ctc
+                && replayKey(rf, cf, key)) {
+                if (FoldCacheEntry* entry = cache.find(key)) {
+                    const bool accumulate = !os && rf > 0;
+                    entry->replay(visitor, fold_start,
+                                  replayDeltas(*entry, rf, cf),
+                                  accumulate, scratch);
+                    ++cacheStats_.foldsReplayed;
+                    cacheStats_.addrsReplayed +=
+                        entry->addrCount(accumulate);
+                    handled = true;
+                } else {
+                    FoldCacheEntry& fresh = cache.insert(key, rf, cf);
+                    FoldCaptureVisitor capture(visitor, fresh);
+                    runFold(capture, rf, cf, fold_start);
+                    ++cacheStats_.foldsLive;
+                    handled = true;
+                }
+            }
+            if (!handled) {
+                runFold(visitor, rf, cf, fold_start);
+                ++cacheStats_.foldsLive;
             }
             fold_start += fold_len;
             visitor.endFold(rf, cf, fold_start);

@@ -37,6 +37,35 @@ class KGatherMap
     virtual std::uint64_t origK(std::uint64_t comp_k) const = 0;
 };
 
+/** Counters of one generation pass through the fold-replay cache. */
+struct FoldCacheStats
+{
+    /** Folds walked (replayed + live). */
+    Count foldsTotal = 0;
+    /** Folds served by shifting a cached canonical fold. */
+    Count foldsReplayed = 0;
+    /** Folds generated live (class captures plus ragged/non-affine
+     *  fallbacks, or everything when the cache is disabled). */
+    Count foldsLive = 0;
+    /** Addresses emitted from cache arenas instead of live math. */
+    Count addrsReplayed = 0;
+
+    /** Address bytes that skipped live generation. */
+    Count bytesSaved() const { return addrsReplayed * sizeof(Addr); }
+
+    void
+    merge(const FoldCacheStats& other)
+    {
+        foldsTotal += other.foldsTotal;
+        foldsReplayed += other.foldsReplayed;
+        foldsLive += other.foldsLive;
+        addrsReplayed += other.addrsReplayed;
+    }
+};
+
+struct FoldCacheEntry;
+struct ReplayDeltas;
+
 /** Per-cycle demand observer. Spans are only valid during the call. */
 class DemandVisitor
 {
@@ -86,7 +115,16 @@ class DemandGenerator
     /** Run the full layer through the visitor. */
     void run(DemandVisitor& visitor) const;
 
+    /** Enable/disable the fold-replay demand cache (default on). */
+    void setFoldCache(bool enabled) { foldCache_ = enabled; }
+    bool foldCacheEnabled() const { return foldCache_; }
+
+    /** Fold-cache counters of the most recent run(). */
+    const FoldCacheStats& foldCacheStats() const { return cacheStats_; }
+
   private:
+    void runFold(DemandVisitor& visitor, std::uint64_t rf,
+                 std::uint64_t cf, Cycle fold_start) const;
     void runFoldOs(DemandVisitor& visitor, std::uint64_t rf,
                    std::uint64_t cf, Cycle fold_start) const;
     void runFoldWs(DemandVisitor& visitor, std::uint64_t rf,
@@ -94,11 +132,25 @@ class DemandGenerator
     void runFoldIs(DemandVisitor& visitor, std::uint64_t rf,
                    std::uint64_t cf, Cycle fold_start) const;
 
+    void runCached(DemandVisitor& visitor) const;
+    /**
+     * Fold-equivalence class of (rf, cf): two full folds with the same
+     * key emit shift-identical streams. False when the ifmap mapping
+     * is not shift-replayable for this fold (conv window spanning an
+     * image boundary).
+     */
+    bool replayKey(std::uint64_t rf, std::uint64_t cf,
+                   std::uint64_t& key) const;
+    ReplayDeltas replayDeltas(const FoldCacheEntry& entry,
+                              std::uint64_t rf, std::uint64_t cf) const;
+
     GemmDims denseGemm_;
     GemmDims effectiveGemm_;
     FoldGrid grid_;
     OperandMap operands_;
     const KGatherMap* gather_;
+    bool foldCache_ = true;
+    mutable FoldCacheStats cacheStats_;
 };
 
 /** Fans one demand stream out to several visitors. */

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Fold-replay demand cache. Every full (non-ragged) fold of a layer
+ * emits the canonical fold's per-cycle address stream shifted by a
+ * per-fold constant offset per operand, because the operand address
+ * functions are affine in the fold bases — exactly (for plain GEMM
+ * addressing) or piecewise (for conv im2col addressing, where two
+ * folds are shift-equivalent when their bases agree modulo one output
+ * row / one filter row, and for sparse-WS gathers, where only column
+ * folds of the same row fold are equivalent).
+ *
+ * The cache captures one canonical fold per equivalence class into a
+ * compact arena (flat Addr buffer plus per-cycle span offsets, no
+ * per-cycle push_back/clear churn) and replays it for every other
+ * fold of the class by adding the constant deltas, so every visitor
+ * sees a bit-identical cycle/address sequence at a fraction of the
+ * generation cost.
+ */
+
+#ifndef SCALESIM_SYSTOLIC_FOLD_CACHE_HH
+#define SCALESIM_SYSTOLIC_FOLD_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "systolic/demand.hpp"
+
+namespace scalesim::systolic
+{
+
+/** Per-stream constant address shifts of a replayed fold. */
+struct ReplayDeltas
+{
+    std::int64_t ifmap = 0;
+    std::int64_t filter = 0;
+    std::int64_t ofmap = 0;
+};
+
+/** Reusable shift buffers so replays allocate nothing in steady state. */
+struct FoldReplayScratch
+{
+    std::vector<Addr> ifmap;
+    std::vector<Addr> filter;
+    std::vector<Addr> writes;
+};
+
+/**
+ * One captured canonical fold: three flat address arenas with
+ * per-cycle begin offsets (`begin[c]..begin[c+1]` is cycle c's span).
+ * Ofmap accumulate reads are not stored — they are always the write
+ * addresses of the same cycle, so replay synthesizes them.
+ */
+struct FoldCacheEntry
+{
+    struct Stream
+    {
+        std::vector<Addr> addrs;
+        std::vector<std::uint64_t> begin{0};
+    };
+
+    /** Fold indices this entry was captured at (delta reference). */
+    std::uint64_t rf = 0;
+    std::uint64_t cf = 0;
+    Stream ifmap;
+    Stream filter;
+    Stream writes;
+
+    /** Addresses a replay of this entry emits. */
+    Count
+    addrCount(bool accumulate) const
+    {
+        return ifmap.addrs.size() + filter.addrs.size()
+            + writes.addrs.size()
+            + (accumulate ? writes.addrs.size() : 0);
+    }
+
+    /**
+     * Emit the captured fold through `visitor`, shifted by `deltas`.
+     * Calls visitor.cycle() once per fold cycle; when `accumulate`,
+     * the shifted write addresses double as the ofmap read span.
+     */
+    void replay(DemandVisitor& visitor, Cycle fold_start,
+                const ReplayDeltas& deltas, bool accumulate,
+                FoldReplayScratch& scratch) const;
+};
+
+/**
+ * DemandVisitor that forwards every cycle to an inner visitor while
+ * appending the spans to a FoldCacheEntry's arenas. Wrapped around
+ * the live generator for the first fold of each equivalence class.
+ */
+class FoldCaptureVisitor : public DemandVisitor
+{
+  public:
+    FoldCaptureVisitor(DemandVisitor& inner, FoldCacheEntry& entry)
+        : inner_(inner), entry_(entry)
+    {}
+
+    void cycle(Cycle clk, std::span<const Addr> ifmap_reads,
+               std::span<const Addr> filter_reads,
+               std::span<const Addr> ofmap_reads,
+               std::span<const Addr> ofmap_writes) override;
+
+  private:
+    DemandVisitor& inner_;
+    FoldCacheEntry& entry_;
+};
+
+/**
+ * Bounded map from fold-equivalence-class key to captured entry.
+ * Classes are visited largely in key order, so when the bound is hit
+ * the smallest (oldest) key is evicted.
+ */
+class FoldReplayCache
+{
+  public:
+    explicit FoldReplayCache(std::size_t max_entries = 32)
+        : maxEntries_(max_entries == 0 ? 1 : max_entries)
+    {}
+
+    FoldCacheEntry*
+    find(std::uint64_t key)
+    {
+        auto it = entries_.find(key);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    FoldCacheEntry&
+    insert(std::uint64_t key, std::uint64_t rf, std::uint64_t cf)
+    {
+        if (entries_.size() >= maxEntries_)
+            entries_.erase(entries_.begin());
+        FoldCacheEntry& entry = entries_[key];
+        entry.rf = rf;
+        entry.cf = cf;
+        return entry;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::size_t maxEntries_;
+    std::map<std::uint64_t, FoldCacheEntry> entries_;
+};
+
+} // namespace scalesim::systolic
+
+#endif // SCALESIM_SYSTOLIC_FOLD_CACHE_HH

@@ -64,9 +64,15 @@ RequestQueue::slotAvailable(Cycle now)
     drain(now);
     if (inflight_.size() < capacity_)
         return now;
-    const Cycle retire = inflight_.top();
-    fullStalls_ += retire - now;
-    return retire;
+    return inflight_.top();
+}
+
+Cycle
+RequestQueue::reserve(Cycle now)
+{
+    const Cycle at = slotAvailable(now);
+    fullStalls_ += at - now;
+    return at;
 }
 
 void

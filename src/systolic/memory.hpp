@@ -119,8 +119,19 @@ class RequestQueue
   public:
     explicit RequestQueue(std::uint32_t capacity);
 
-    /** Earliest cycle >= now at which a slot is free. */
+    /**
+     * Earliest cycle >= now at which a slot is free. Pure query: no
+     * stall accounting, so callers may poll it repeatedly.
+     */
     Cycle slotAvailable(Cycle now);
+
+    /**
+     * Acquire issue permission for one request: returns the earliest
+     * cycle >= now it can enter the queue and charges the wait to
+     * fullStallCycles() exactly once. Call once per request, follow
+     * with push().
+     */
+    Cycle reserve(Cycle now);
 
     /** Occupy a slot until `completion`. */
     void push(Cycle completion);

@@ -194,7 +194,7 @@ DoubleBufferedScratchpad::issueReads(const TileSpan& span,
                 remaining, cfg_.burstWords);
             const Cycle want = static_cast<Cycle>(
                 std::ceil(next_issue));
-            const Cycle slot = queue.slotAvailable(want);
+            const Cycle slot = queue.reserve(want);
             const Cycle at = std::max(slot, want);
             const Cycle done = memory_.issueRead(addr, words, at);
             queue.push(done);
@@ -227,7 +227,7 @@ DoubleBufferedScratchpad::issueWrites(const TileSpan& span,
                 remaining, cfg_.burstWords);
             const Cycle want = static_cast<Cycle>(
                 std::ceil(next_issue));
-            const Cycle slot = queue.slotAvailable(want);
+            const Cycle slot = queue.reserve(want);
             const Cycle at = std::max(slot, want);
             const Cycle accepted = memory_.issueWrite(addr, words, at);
             queue.push(accepted);

@@ -12,8 +12,10 @@ namespace scalesim::systolic
 
 SramTraceWriter::SramTraceWriter(std::ostream* ifmap_reads,
                                  std::ostream* filter_reads,
-                                 std::ostream* ofmap_writes)
-    : ifmap_(ifmap_reads), filter_(filter_reads), ofmap_(ofmap_writes)
+                                 std::ostream* ofmap_writes,
+                                 std::ostream* ofmap_reads)
+    : ifmap_(ifmap_reads), filter_(filter_reads), ofmap_(ofmap_writes),
+      oread_(ofmap_reads)
 {
 }
 
@@ -30,7 +32,7 @@ SramTraceWriter::writeRow(std::ostream& out, Cycle clk,
 void
 SramTraceWriter::cycle(Cycle clk, std::span<const Addr> ifmap_reads,
                        std::span<const Addr> filter_reads,
-                       std::span<const Addr> /*ofmap_reads*/,
+                       std::span<const Addr> ofmap_reads,
                        std::span<const Addr> ofmap_writes)
 {
     if (ifmap_ && !ifmap_reads.empty()) {
@@ -40,6 +42,11 @@ SramTraceWriter::cycle(Cycle clk, std::span<const Addr> ifmap_reads,
     if (filter_ && !filter_reads.empty()) {
         writeRow(*filter_, clk, filter_reads);
         ++rows_;
+    }
+    if (oread_ && !ofmap_reads.empty()) {
+        writeRow(*oread_, clk, ofmap_reads);
+        ++rows_;
+        ++oreadRows_;
     }
     if (ofmap_ && !ofmap_writes.empty()) {
         writeRow(*ofmap_, clk, ofmap_writes);

@@ -23,13 +23,19 @@
 namespace scalesim::systolic
 {
 
-/** Writes per-cycle SRAM demand traces; null streams are skipped. */
+/**
+ * Writes per-cycle SRAM demand traces; null streams are skipped.
+ * `ofmap_reads` carries the partial-sum fetches of accumulating WS/IS
+ * row folds (rf > 0) as a fourth stream so replayed traces account
+ * for the full OFMAP SRAM traffic.
+ */
 class SramTraceWriter : public DemandVisitor
 {
   public:
     SramTraceWriter(std::ostream* ifmap_reads,
                     std::ostream* filter_reads,
-                    std::ostream* ofmap_writes);
+                    std::ostream* ofmap_writes,
+                    std::ostream* ofmap_reads = nullptr);
 
     void cycle(Cycle clk, std::span<const Addr> ifmap_reads,
                std::span<const Addr> filter_reads,
@@ -37,6 +43,8 @@ class SramTraceWriter : public DemandVisitor
                std::span<const Addr> ofmap_writes) override;
 
     Count rowsWritten() const { return rows_; }
+    /** Rows of the ofmap accumulate-read stream alone. */
+    Count ofmapReadRows() const { return oreadRows_; }
 
   private:
     static void writeRow(std::ostream& out, Cycle clk,
@@ -45,7 +53,9 @@ class SramTraceWriter : public DemandVisitor
     std::ostream* ifmap_;
     std::ostream* filter_;
     std::ostream* ofmap_;
+    std::ostream* oread_;
     Count rows_ = 0;
+    Count oreadRows_ = 0;
 };
 
 /** One §V-B main-memory trace record. */

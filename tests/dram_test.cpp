@@ -306,6 +306,31 @@ TEST(Refresh, ClosesOpenRows)
     EXPECT_EQ(stats.rowMisses, 2u);
 }
 
+TEST(Refresh, TwoRanksRefreshIndependently)
+{
+    // tREFI/tRFC are per-rank: each rank follows its own cadence and a
+    // refresh closes only that rank's row buffers. The old channel-wide
+    // nextRefresh_ both undercounted (one shared cadence for two
+    // ranks) and closed every rank's rows on each refresh.
+    DramTiming t = timingPreset("DDR4_2400");
+    t.tREFI = 1000;
+    t.tRFC = 100;
+    Channel ch(t, 2);
+    auto read = [&](std::uint32_t rank, Cycle arrival) {
+        DecodedAddr a;
+        a.rank = rank;
+        return ch.serviceUntil(ch.enqueue(a, false, arrival));
+    };
+    read(0, 1000); // lands in rank 0's first window: 1 refresh
+    read(1, 1500); // rank 1 catches up its own missed window: +1
+    read(0, 3500); // rank 0 catches up the 2000 and 3000 windows: +2
+    read(1, 3600); // rank 1 catches up the same two windows: +2
+    EXPECT_EQ(ch.stats().refreshes, 6u);
+    // Every access found its bank closed (first touch or refreshed).
+    EXPECT_EQ(ch.stats().rowMisses, 4u);
+    EXPECT_EQ(ch.stats().rowHits, 0u);
+}
+
 TEST(Refresh, AllPresetsHaveRefreshTiming)
 {
     for (const auto& name : timingPresetNames()) {

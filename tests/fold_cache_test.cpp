@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Golden A/B equivalence tests for the fold-replay demand cache: for a
+ * matrix of shapes (ragged GEMMs, im2col convolutions, batched conv,
+ * sparse-WS gathering) and all three dataflows, a cached run must be
+ * byte-identical to an uncached run through every consumer — SRAM trace
+ * text (all four streams), CountingVisitor totals, and the trace-driven
+ * energy action counts. Also pins that the replay path actually fires
+ * on the shapes designed to hit it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/types.hpp"
+#include "energy/action_counts.hpp"
+#include "sparse/pattern.hpp"
+#include "systolic/demand.hpp"
+#include "systolic/trace_io.hpp"
+
+using namespace scalesim;
+using namespace scalesim::systolic;
+
+namespace
+{
+
+/** Everything one demand pass produces, captured for comparison. */
+struct PassResult
+{
+    std::string ifmapTrace;
+    std::string filterTrace;
+    std::string ofmapTrace;
+    std::string oreadTrace;
+    Count ifmapReads = 0;
+    Count filterReads = 0;
+    Count ofmapReads = 0;
+    Count ofmapWrites = 0;
+    Cycle lastCycle = 0;
+    energy::ActionCounts actions;
+    FoldCacheStats cache;
+};
+
+PassResult
+runPass(const GemmDims& gemm, Dataflow df, std::uint32_t rows,
+        std::uint32_t cols, const OperandMap& operands, bool cached,
+        const KGatherMap* gather = nullptr)
+{
+    DemandGenerator gen(gemm, df, rows, cols, operands, gather);
+    gen.setFoldCache(cached);
+
+    std::ostringstream ifmap, filter, ofmap, oread;
+    SramTraceWriter writer(&ifmap, &filter, &ofmap, &oread);
+    CountingVisitor counter;
+    EnergyConfig ecfg;
+    energy::ActionCountVisitor actions(ecfg);
+    TeeVisitor tee({&writer, &counter, &actions});
+    gen.run(tee);
+
+    PassResult r;
+    r.ifmapTrace = ifmap.str();
+    r.filterTrace = filter.str();
+    r.ofmapTrace = ofmap.str();
+    r.oreadTrace = oread.str();
+    r.ifmapReads = counter.ifmapReads;
+    r.filterReads = counter.filterReads;
+    r.ofmapReads = counter.ofmapReads;
+    r.ofmapWrites = counter.ofmapWrites;
+    r.lastCycle = counter.lastCycle;
+    r.actions = actions.counts();
+    r.cache = gen.foldCacheStats();
+    return r;
+}
+
+void
+expectSramEqual(const energy::SramActionCounts& a,
+                const energy::SramActionCounts& b, const char* what)
+{
+    EXPECT_EQ(a.readRandom, b.readRandom) << what;
+    EXPECT_EQ(a.readRepeat, b.readRepeat) << what;
+    EXPECT_EQ(a.writeRandom, b.writeRandom) << what;
+    EXPECT_EQ(a.writeRepeat, b.writeRepeat) << what;
+    EXPECT_EQ(a.idle, b.idle) << what;
+}
+
+/** Field-by-field ActionCounts comparison (no operator==). */
+void
+expectActionsEqual(const energy::ActionCounts& a,
+                   const energy::ActionCounts& b)
+{
+    EXPECT_EQ(a.macRandom, b.macRandom);
+    EXPECT_EQ(a.macConstant, b.macConstant);
+    EXPECT_EQ(a.macGated, b.macGated);
+    EXPECT_EQ(a.ifmapSpadRead, b.ifmapSpadRead);
+    EXPECT_EQ(a.ifmapSpadWrite, b.ifmapSpadWrite);
+    EXPECT_EQ(a.weightSpadRead, b.weightSpadRead);
+    EXPECT_EQ(a.weightSpadWrite, b.weightSpadWrite);
+    EXPECT_EQ(a.psumSpadRead, b.psumSpadRead);
+    EXPECT_EQ(a.psumSpadWrite, b.psumSpadWrite);
+    expectSramEqual(a.ifmapSram, b.ifmapSram, "ifmapSram");
+    expectSramEqual(a.filterSram, b.filterSram, "filterSram");
+    expectSramEqual(a.ofmapSram, b.ofmapSram, "ofmapSram");
+    EXPECT_EQ(a.vectorOps, b.vectorOps);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+/** Run cached vs uncached and demand bit-identical observations. */
+void
+expectEquivalent(const PassResult& cached, const PassResult& live)
+{
+    EXPECT_EQ(cached.ifmapTrace, live.ifmapTrace);
+    EXPECT_EQ(cached.filterTrace, live.filterTrace);
+    EXPECT_EQ(cached.ofmapTrace, live.ofmapTrace);
+    EXPECT_EQ(cached.oreadTrace, live.oreadTrace);
+    EXPECT_EQ(cached.ifmapReads, live.ifmapReads);
+    EXPECT_EQ(cached.filterReads, live.filterReads);
+    EXPECT_EQ(cached.ofmapReads, live.ofmapReads);
+    EXPECT_EQ(cached.ofmapWrites, live.ofmapWrites);
+    EXPECT_EQ(cached.lastCycle, live.lastCycle);
+    expectActionsEqual(cached.actions, live.actions);
+    // The uncached pass must never replay; both walk the same folds.
+    EXPECT_EQ(live.cache.foldsReplayed, 0u);
+    EXPECT_EQ(cached.cache.foldsTotal, live.cache.foldsTotal);
+}
+
+OperandMap
+makeOperands(const GemmDims& gemm)
+{
+    MemoryConfig mem;
+    return OperandMap(gemm, mem);
+}
+
+} // namespace
+
+class FoldCacheAb : public ::testing::TestWithParam<Dataflow>
+{
+};
+
+TEST_P(FoldCacheAb, RaggedGemmIsEquivalent)
+{
+    // 27x19x13 on an 8x8 array: ragged edge folds in both directions.
+    const GemmDims gemm{27, 19, 13};
+    const OperandMap operands = makeOperands(gemm);
+    const auto cached = runPass(gemm, GetParam(), 8, 8, operands, true);
+    const auto live = runPass(gemm, GetParam(), 8, 8, operands, false);
+    expectEquivalent(cached, live);
+}
+
+TEST_P(FoldCacheAb, FullFoldGemmReplays)
+{
+    // 32x16x24: every fold is full-shaped, so after the one canonical
+    // capture all remaining full folds must replay.
+    const GemmDims gemm{32, 16, 24};
+    const OperandMap operands = makeOperands(gemm);
+    const auto cached = runPass(gemm, GetParam(), 8, 8, operands, true);
+    const auto live = runPass(gemm, GetParam(), 8, 8, operands, false);
+    expectEquivalent(cached, live);
+    EXPECT_GT(cached.cache.foldsReplayed, 0u);
+    EXPECT_GT(cached.cache.addrsReplayed, 0u);
+    EXPECT_EQ(cached.cache.foldsTotal,
+              cached.cache.foldsReplayed + cached.cache.foldsLive);
+}
+
+TEST_P(FoldCacheAb, ConvImToColIsEquivalent)
+{
+    // 14x14 conv, 3x3x8 -> 12 filters: M = 144, K = 72, N = 12.
+    // im2col ifmap addressing is non-affine across row folds, so the
+    // conv congruence classes must carry the replays.
+    const LayerSpec layer = LayerSpec::conv("c", 14, 14, 3, 3, 8, 12, 1);
+    const MemoryConfig mem;
+    const OperandMap operands = OperandMap::forLayer(layer, mem);
+    const GemmDims gemm = layer.toGemm();
+    for (const Dataflow df : {GetParam()}) {
+        const auto cached = runPass(gemm, df, 8, 8, operands, true);
+        const auto live = runPass(gemm, df, 8, 8, operands, false);
+        expectEquivalent(cached, live);
+        EXPECT_GT(cached.cache.foldsReplayed, 0u)
+            << "conv congruence classes should replay on " << toString(df);
+    }
+}
+
+TEST_P(FoldCacheAb, BatchedConvIsEquivalent)
+{
+    // Batch 2 makes some fold m-ranges span the image boundary; those
+    // must fall back to live generation without breaking equivalence.
+    const LayerSpec layer =
+        LayerSpec::conv("c", 10, 10, 3, 3, 4, 8, 1).withBatch(2);
+    const MemoryConfig mem;
+    const OperandMap operands = OperandMap::forLayer(layer, mem);
+    const GemmDims gemm = layer.toGemm();
+    const auto cached = runPass(gemm, GetParam(), 8, 8, operands, true);
+    const auto live = runPass(gemm, GetParam(), 8, 8, operands, false);
+    expectEquivalent(cached, live);
+}
+
+TEST_P(FoldCacheAb, StridedConvIsEquivalent)
+{
+    const LayerSpec layer = LayerSpec::conv("c", 16, 16, 3, 3, 4, 8, 2);
+    const MemoryConfig mem;
+    const OperandMap operands = OperandMap::forLayer(layer, mem);
+    const GemmDims gemm = layer.toGemm();
+    const auto cached = runPass(gemm, GetParam(), 8, 8, operands, true);
+    const auto live = runPass(gemm, GetParam(), 8, 8, operands, false);
+    expectEquivalent(cached, live);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDataflows, FoldCacheAb,
+    ::testing::Values(Dataflow::OutputStationary,
+                      Dataflow::WeightStationary,
+                      Dataflow::InputStationary),
+    [](const auto& info) { return toString(info.param); });
+
+TEST(FoldCacheSparse, GatheredWsIsEquivalent)
+{
+    // 2:4 layer-wise sparsity: WS row folds gather original K rows, so
+    // the ifmap stream is not shift-affine across row folds. Column
+    // folds within a row fold still share a per-row-fold cache.
+    const GemmDims dense{48, 24, 32};
+    const OperandMap operands = makeOperands(dense);
+    const auto pattern = sparse::SparsityPattern::layerWise(dense.k, 2, 4);
+    const auto cached = runPass(dense, Dataflow::WeightStationary, 8, 8,
+                                operands, true, &pattern);
+    const auto live = runPass(dense, Dataflow::WeightStationary, 8, 8,
+                              operands, false, &pattern);
+    expectEquivalent(cached, live);
+    EXPECT_GT(cached.cache.foldsReplayed, 0u)
+        << "column folds should replay within each sparse row fold";
+}
+
+TEST(FoldCacheStatsTest, DisabledRunsEverythingLive)
+{
+    const GemmDims gemm{32, 16, 24};
+    const OperandMap operands = makeOperands(gemm);
+    const auto live =
+        runPass(gemm, Dataflow::OutputStationary, 8, 8, operands, false);
+    EXPECT_GT(live.cache.foldsTotal, 0u);
+    EXPECT_EQ(live.cache.foldsLive, live.cache.foldsTotal);
+    EXPECT_EQ(live.cache.foldsReplayed, 0u);
+    EXPECT_EQ(live.cache.addrsReplayed, 0u);
+    EXPECT_EQ(live.cache.bytesSaved(), 0u);
+}

@@ -181,10 +181,31 @@ TEST(RequestQueue, BlocksWhenFull)
     queue.push(200);
     // Full: next slot opens when the earliest entry retires.
     EXPECT_EQ(queue.slotAvailable(10), 100u);
-    EXPECT_GT(queue.fullStallCycles(), 0u);
     // After 100, one slot is free.
     EXPECT_EQ(queue.slotAvailable(150), 150u);
     EXPECT_EQ(queue.occupancy(), 1u);
+}
+
+TEST(RequestQueue, PollingDoesNotAccumulateStalls)
+{
+    // Regression: slotAvailable() used to charge fullStalls_ on every
+    // poll, so repeated availability probes for one stalled request
+    // multiplied the recorded stall cycles.
+    RequestQueue queue(2);
+    queue.push(100);
+    queue.push(200);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(queue.slotAvailable(10), 100u);
+    EXPECT_EQ(queue.fullStallCycles(), 0u);
+    // reserve() charges the delayed issue exactly once.
+    EXPECT_EQ(queue.reserve(10), 100u);
+    EXPECT_EQ(queue.fullStallCycles(), 90u);
+    // Further polls after the reservation still add nothing.
+    queue.slotAvailable(10);
+    EXPECT_EQ(queue.fullStallCycles(), 90u);
+    // A reserve with a free slot costs nothing.
+    EXPECT_EQ(queue.reserve(260), 260u);
+    EXPECT_EQ(queue.fullStallCycles(), 90u);
 }
 
 TEST(RequestQueue, DrainRetiresCompleted)
@@ -382,6 +403,41 @@ TEST(TraceIo, SramTraceRowsMatchActiveCycles)
         ++lines;
     }
     EXPECT_GT(lines, 0u);
+}
+
+TEST(TraceIo, OfmapAccumulateReadsAreEmitted)
+{
+    // Regression: ofmap_reads (WS partial-sum fetches at rf > 0) were
+    // silently dropped from the SRAM traces. K=20 on 8 array rows
+    // gives 3 row folds, so folds rf=1,2 re-read their outputs.
+    const GemmDims gemm{12, 10, 20};
+    std::ostringstream ifmap, filter, ofmap, oread;
+    DemandGenerator gen(gemm, Dataflow::WeightStationary, 8, 8,
+                        makeOperands(gemm));
+    SramTraceWriter writer(&ifmap, &filter, &ofmap, &oread);
+    gen.run(writer);
+    EXPECT_GT(writer.ofmapReadRows(), 0u);
+
+    // Address count in the read stream matches the demand totals:
+    // 2 of 3 row folds accumulate, M*N addresses each.
+    std::istringstream in(oread.str());
+    std::string line;
+    std::size_t read_addrs = 0;
+    while (std::getline(in, line))
+        read_addrs += splitCsvLine(line).size() - 1;
+    EXPECT_EQ(read_addrs, 2u * gemm.m * gemm.n);
+
+    CountingVisitor counts;
+    gen.run(counts);
+    EXPECT_EQ(read_addrs, counts.ofmapReads);
+
+    // A writer without the fourth stream still works (and counts no
+    // read rows).
+    std::ostringstream i2, f2, o2;
+    SramTraceWriter three(&i2, &f2, &o2);
+    gen.run(three);
+    EXPECT_EQ(three.ofmapReadRows(), 0u);
+    EXPECT_EQ(o2.str(), ofmap.str());
 }
 
 TEST(TraceIo, TracingMemoryRecordsEverything)
