@@ -16,6 +16,7 @@
  * With no arguments it runs ResNet-18 on the default configuration.
  */
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -24,6 +25,8 @@
 #include "common/log.hpp"
 #include "common/workloads.hpp"
 #include "core/simulator.hpp"
+#include "multicore/trace_sim.hpp"
+#include "obs/stats.hpp"
 #include "systolic/trace_io.hpp"
 
 using namespace scalesim;
@@ -40,6 +43,7 @@ usage()
         "                    [--stats file] [--stats-json file]\n"
         "                    [--trace file] [--json file]\n"
         "                    [--no-fold-cache]\n"
+        "                    [--multicore PRxPC] [--contention MODEL]\n"
         "  --no-fold-cache disable the fold-replay demand cache\n"
         "               (same outputs, slower trace mode)\n"
         "  --stats      gem5-format stats.txt dump\n"
@@ -47,6 +51,10 @@ usage()
         "  --json       full run report as one JSON document\n"
         "  --trace      Chrome trace-event timeline (chrome://tracing\n"
         "               or ui.perfetto.dev); enables fold spans\n"
+        "  --multicore  run the trace-level multi-core system on a\n"
+        "               PRxPC grid (e.g. 2x2) instead of one core\n"
+        "  --contention shared (cycle-interleaved co-simulation,\n"
+        "               default) | static (sequential 1/N split)\n"
         "workloads: ";
     for (const auto& name : workloads::names())
         std::cerr << name << " ";
@@ -68,6 +76,8 @@ main(int argc, char** argv)
     std::string trace_path;
     bool write_traces = false;
     bool fold_cache = true;
+    std::string multicore_grid;
+    std::string contention_name = "shared";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -97,6 +107,10 @@ main(int argc, char** argv)
             trace_path = next();
         } else if (arg == "--no-fold-cache") {
             fold_cache = false;
+        } else if (arg == "--multicore") {
+            multicore_grid = next();
+        } else if (arg == "--contention") {
+            contention_name = next();
         } else {
             usage();
             return arg == "-h" || arg == "--help" ? 0 : 1;
@@ -117,6 +131,95 @@ main(int argc, char** argv)
             cfg.memory.recordFoldSpans = true;
         if (!fold_cache)
             cfg.foldCache = false;
+
+        if (!multicore_grid.empty()) {
+            // Trace-level multi-core path: partition each layer over a
+            // PrxPc grid of arrays sharing an L2 and the DRAM bus.
+            unsigned long long pr = 0, pc = 0;
+            if (std::sscanf(multicore_grid.c_str(), "%llux%llu", &pr,
+                            &pc) != 2
+                || pr == 0 || pc == 0) {
+                fatal("--multicore expects PRxPC (e.g. 2x2), got '%s'",
+                      multicore_grid.c_str());
+            }
+            const multicore::ContentionModel contention
+                = multicore::contentionModelFromString(
+                    contention_name);
+            multicore::MultiCoreTraceConfig mc;
+            mc.pr = pr;
+            mc.pc = pc;
+            mc.arrayRows = cfg.arrayRows;
+            mc.arrayCols = cfg.arrayCols;
+            mc.dataflow = cfg.dataflow;
+            mc.dramWordsPerCycle = cfg.memory.bandwidthWordsPerCycle;
+            mc.contention = contention;
+            const std::uint32_t word
+                = std::max<std::uint32_t>(1, cfg.memory.wordBytes);
+            mc.l1.ifmapWords = cfg.memory.ifmapSramKb * 1024 / word;
+            mc.l1.filterWords = cfg.memory.filterSramKb * 1024 / word;
+            mc.l1.ofmapWords = cfg.memory.ofmapSramKb * 1024 / word;
+
+            inform("running %s (%zu layers) on a %llux%llu grid of "
+                   "%ux%u %s arrays, %s contention",
+                   topo.name.c_str(), topo.layers.size(), pr, pc,
+                   cfg.arrayRows, cfg.arrayCols,
+                   toString(cfg.dataflow).c_str(),
+                   multicore::toString(contention));
+
+            multicore::MultiCoreTraceSimulator mcs(mc);
+            obs::StatsRegistry reg;
+            Cycle makespan = 0;
+            std::uint64_t conflicts = 0;
+            std::uint64_t dram_read = 0;
+            std::uint64_t dram_write = 0;
+            for (std::size_t li = 0; li < topo.layers.size(); ++li) {
+                const auto& layer = topo.layers[li];
+                const auto res = mcs.runLayer(layer);
+                res.registerStats(reg,
+                                  "mc.l" + std::to_string(li));
+                makespan += res.makespan;
+                conflicts += res.arb.arbConflicts;
+                dram_read += res.dramReadWords;
+                dram_write += res.dramWriteWords;
+                std::cout << layer.name << ": makespan "
+                          << res.makespan << " cycles, dram "
+                          << res.dramReadWords << "r/"
+                          << res.dramWriteWords << "w words";
+                if (mc.contention
+                    == multicore::ContentionModel::Shared) {
+                    std::cout << ", arb conflicts "
+                              << res.arb.arbConflicts;
+                }
+                std::cout << "\n";
+            }
+            std::cout << "total makespan:   " << makespan
+                      << " cycles\n"
+                      << "dram read words:  " << dram_read << "\n"
+                      << "dram write words: " << dram_write << "\n";
+            if (mc.contention == multicore::ContentionModel::Shared)
+                std::cout << "arb conflicts:    " << conflicts
+                          << "\n";
+
+            auto dump_to = [&](const std::string& path,
+                               auto writer) {
+                std::ofstream out(path);
+                if (!out)
+                    fatal("cannot write %s", path.c_str());
+                (reg.*writer)(out);
+                inform("wrote %s", path.c_str());
+            };
+            if (!stats_path.empty())
+                dump_to(stats_path, &obs::StatsRegistry::dump);
+            if (!stats_json_path.empty())
+                dump_to(stats_json_path,
+                        &obs::StatsRegistry::dumpJson);
+            if (!json_path.empty() || !trace_path.empty()
+                || write_traces) {
+                warn("--json/--trace/-s are single-core outputs; "
+                     "ignored with --multicore");
+            }
+            return 0;
+        }
 
         inform("running %s (%zu layers) on a %ux%u %s array",
                topo.name.c_str(), topo.layers.size(), cfg.arrayRows,

@@ -48,9 +48,11 @@ main()
     const auto lw = runVit(layerwise, sparse_topo);
 
     SparsityConfig rowwise;
+    rowwise.enabled = true;
     rowwise.optimizedMapping = true;
     rowwise.blockSize = 8;
-    const auto rw = runVit(rowwise, dense_topo);
+    // Row-wise mapping applies only to sparse-annotated layers.
+    const auto rw = runVit(rowwise, sparse_topo);
 
     std::printf("ViT-base on 64x64 WS array\n");
     std::printf("%-24s %14s %10s\n", "mode", "total cycles",

@@ -1,0 +1,77 @@
+#include "multicore/arbiter.hpp"
+
+#include "common/log.hpp"
+
+namespace scalesim::multicore
+{
+
+RoundRobinArbiter::RoundRobinArbiter(std::size_t ports,
+                                     bool scan_reverse)
+    : ports_(ports), scanReverse_(scan_reverse)
+{
+    if (ports_ == 0)
+        fatal("arbiter needs at least one port");
+}
+
+std::size_t
+RoundRobinArbiter::grant(const std::vector<Cycle>& next, Cycle none)
+{
+    std::size_t best = kNone;
+    Cycle best_cycle = 0;
+    std::size_t best_dist = 0;
+    for (std::size_t s = 0; s < ports_; ++s) {
+        const std::size_t i = scanReverse_ ? ports_ - 1 - s : s;
+        if (next[i] == none)
+            continue;
+        const std::size_t dist = (i + ports_ - nextPriority_) % ports_;
+        if (best == kNone || next[i] < best_cycle
+            || (next[i] == best_cycle && dist < best_dist)) {
+            best = i;
+            best_cycle = next[i];
+            best_dist = dist;
+        }
+    }
+    if (best == kNone)
+        return kNone;
+
+    // Contenders = ports that wanted the granted cycle too.
+    std::uint64_t waiting = 0;
+    for (std::size_t i = 0; i < ports_; ++i) {
+        if (i != best && next[i] != none && next[i] == best_cycle)
+            ++waiting;
+    }
+    ++stats_.grants;
+    stats_.arbConflicts += waiting;
+    stats_.waiters.sample(static_cast<double>(waiting));
+
+    nextPriority_ = (best + 1) % ports_;
+    return best;
+}
+
+Cycle
+MemoryPort::issueRead(Addr addr, Count words, Cycle now)
+{
+    const Cycle done = shared_.issueRead(addr, words, now);
+    ++portStats_.readRequests;
+    portStats_.readWords += words;
+    portStats_.waitCycles += shared_.lastIssueWait();
+    ++stats_.readRequests;
+    stats_.readWords += words;
+    stats_.totalReadLatency += done - now;
+    return done;
+}
+
+Cycle
+MemoryPort::issueWrite(Addr addr, Count words, Cycle now)
+{
+    const Cycle done = shared_.issueWrite(addr, words, now);
+    ++portStats_.writeRequests;
+    portStats_.writeWords += words;
+    portStats_.waitCycles += shared_.lastIssueWait();
+    ++stats_.writeRequests;
+    stats_.writeWords += words;
+    stats_.totalWriteLatency += done - now;
+    return done;
+}
+
+} // namespace scalesim::multicore

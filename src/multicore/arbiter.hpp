@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Contention arbitration for the cycle-interleaved multi-core
+ * co-simulation: a round-robin grant arbiter that picks which core's
+ * pending memory transaction executes next on the shared timeline, and
+ * a per-core MemoryPort decorator that attributes shared-resource wait
+ * cycles and traffic to the requesting core.
+ */
+
+#ifndef SCALESIM_MULTICORE_ARBITER_HH
+#define SCALESIM_MULTICORE_ARBITER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/stats.hpp"
+#include "systolic/memory.hpp"
+
+namespace scalesim::multicore
+{
+
+/** Grant statistics of the shared-memory arbiter. */
+struct ArbiterStats
+{
+    /** Transactions granted. */
+    Count grants = 0;
+    /**
+     * Grants where at least one other core wanted the same cycle:
+     * each such grant adds (contenders - 1). Zero means the cores
+     * never collided and the static 1/N split would have been exact.
+     */
+    Count arbConflicts = 0;
+    /** Contenders left waiting at each grant (occupancy of the
+     *  arbitration queue; bucket 0 = uncontended grants). */
+    obs::Histogram waiters;
+};
+
+/**
+ * Round-robin arbiter over N requester ports. Each port advertises the
+ * cycle of its next pending transaction (or `none` when idle/done);
+ * grant() picks the earliest, breaking same-cycle ties round-robin
+ * from the port after the previous grantee.
+ *
+ * Selection is an argmin over the total-order key (cycle, cyclic
+ * distance from the round-robin pointer), so the result is independent
+ * of the order ports are scanned in — grant(scanReverse) exists purely
+ * to let tests prove that.
+ */
+class RoundRobinArbiter
+{
+  public:
+    explicit RoundRobinArbiter(std::size_t ports,
+                               bool scan_reverse = false);
+
+    /** Returned by grant() when every port is idle. */
+    static constexpr std::size_t kNone = ~static_cast<std::size_t>(0);
+
+    /**
+     * Pick the next port to serve. `next[i]` is port i's pending
+     * transaction cycle, `none` marking idle ports. Returns kNone when
+     * nothing is pending.
+     */
+    std::size_t grant(const std::vector<Cycle>& next, Cycle none);
+
+    const ArbiterStats& stats() const { return stats_; }
+
+  private:
+    std::size_t ports_;
+    bool scanReverse_;
+    /** Port after the previous grantee gets top tie-break priority. */
+    std::size_t nextPriority_ = 0;
+    ArbiterStats stats_;
+};
+
+/** Per-core traffic/wait statistics of one MemoryPort. */
+struct MemoryPortStats
+{
+    Count readRequests = 0;
+    Count writeRequests = 0;
+    std::uint64_t readWords = 0;
+    std::uint64_t writeWords = 0;
+    /**
+     * Aggregate queueing delay at the shared serialization point (the
+     * L2 port, or the DRAM bus when no L2 is configured): the sum over
+     * this core's transactions of the cycles each spent queued before
+     * service. The backlog a transaction queues behind mixes other
+     * cores' traffic with this core's own earlier bursts — use the
+     * arbiter's arbConflicts/waiters stats for the pure cross-core
+     * collision count. `stallOnL2` in the stats output.
+     */
+    Cycle waitCycles = 0;
+};
+
+/**
+ * Per-core view of the shared memory: forwards every transaction and
+ * charges the shared resource's issue wait to this core. One instance
+ * per core sits between its L1 engine and the shared L2/DRAM.
+ */
+class MemoryPort : public systolic::MainMemory
+{
+  public:
+    explicit MemoryPort(systolic::MainMemory& shared)
+        : shared_(shared)
+    {
+    }
+
+    Cycle issueRead(Addr addr, Count words, Cycle now) override;
+    Cycle issueWrite(Addr addr, Count words, Cycle now) override;
+    Cycle lastIssueWait() const override
+    {
+        return shared_.lastIssueWait();
+    }
+
+    const MemoryPortStats& portStats() const { return portStats_; }
+
+  private:
+    systolic::MainMemory& shared_;
+    MemoryPortStats portStats_;
+};
+
+} // namespace scalesim::multicore
+
+#endif // SCALESIM_MULTICORE_ARBITER_HH

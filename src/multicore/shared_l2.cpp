@@ -50,6 +50,7 @@ Cycle
 SharedL2::busOccupy(Count words, Cycle now)
 {
     const double start = std::max(static_cast<double>(now), busFree_);
+    lastWait_ = static_cast<Cycle>(start) - now;
     busFree_ = start + static_cast<double>(words) / cfg_.wordsPerCycle;
     return static_cast<Cycle>(std::ceil(busFree_));
 }
@@ -64,11 +65,19 @@ SharedL2::issueRead(Addr addr, Count words, Cycle now)
     Cycle data_ready = now + cfg_.hitLatency;
     for (std::uint64_t line = first_line; line <= last_line; ++line) {
         ++l2Stats_.lookups;
+        // Words of *this request* the line covers (so that hitWords +
+        // missWords across requests sums to the words served to cores;
+        // refill traffic is line-granular and counted by the backing).
+        const std::uint64_t line_lo = line * cfg_.lineWords;
+        const std::uint64_t overlap =
+            std::min<std::uint64_t>(addr + words,
+                                    line_lo + cfg_.lineWords)
+            - std::max<std::uint64_t>(addr, line_lo);
         if (lookup(line)) {
             ++l2Stats_.hits;
-            l2Stats_.hitWords += cfg_.lineWords;
+            l2Stats_.hitWords += overlap;
         } else {
-            l2Stats_.missWords += cfg_.lineWords;
+            l2Stats_.missWords += overlap;
             const Cycle fill = backing_.issueRead(
                 line * cfg_.lineWords, cfg_.lineWords, now);
             data_ready = std::max(data_ready, fill + cfg_.hitLatency);

@@ -35,7 +35,14 @@ struct SharedL2Config
     double wordsPerCycle = 256.0;
 };
 
-/** Hit/miss statistics of the shared L2. */
+/**
+ * Hit/miss statistics of the shared L2. `hitWords`/`missWords` count
+ * the words of each *request* served from a resident/missing line
+ * (request-overlap granularity), so hitWords + missWords equals the
+ * words the cores pulled through the L2 — see
+ * MultiCoreTraceResult::l1FillWords. Line-granular refill traffic to
+ * the backing memory is visible in that memory's own stats instead.
+ */
 struct SharedL2Stats
 {
     Count lookups = 0;
@@ -60,6 +67,8 @@ class SharedL2 : public systolic::MainMemory
     Cycle issueRead(Addr addr, Count words, Cycle now) override;
     Cycle issueWrite(Addr addr, Count words, Cycle now) override;
 
+    Cycle lastIssueWait() const override { return lastWait_; }
+
     const SharedL2Stats& l2Stats() const { return l2Stats_; }
     systolic::MainMemory& backing() { return backing_; }
 
@@ -83,6 +92,7 @@ class SharedL2 : public systolic::MainMemory
     std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
         index_;
     double busFree_ = 0.0;
+    Cycle lastWait_ = 0;
 };
 
 } // namespace scalesim::multicore

@@ -30,6 +30,14 @@ MultiCoreSimulator::MultiCoreSimulator(const MultiCoreConfig& cfg)
         fatal("expected %llu core configs, got %zu",
               static_cast<unsigned long long>(cfg_.pr * cfg_.pc),
               cfg_.cores.size());
+    // A wrong-sized hop profile used to wrap silently via modulo,
+    // mis-assigning NoP latencies; reject it up front instead.
+    if (!cfg_.nop.hops.empty()
+        && cfg_.nop.hops.size() != cfg_.pr * cfg_.pc)
+        fatal("NoP hop profile has %zu entries for a %llu-core grid "
+              "(must be empty or pr*pc)",
+              cfg_.nop.hops.size(),
+              static_cast<unsigned long long>(cfg_.pr * cfg_.pc));
 }
 
 namespace

@@ -29,7 +29,9 @@ struct NopConfig
     double wordsPerCycle = 16.0;
     /**
      * Hop count from main memory per core, row-major over the
-     * (Pr, Pc) grid. Empty means one hop everywhere (uniform).
+     * (Pr, Pc) grid. Empty means one hop everywhere (uniform); a
+     * non-empty vector must have exactly pr*pc entries
+     * (MultiCoreSimulator validates at construction).
      */
     std::vector<std::uint32_t> hops;
 
@@ -38,7 +40,7 @@ struct NopConfig
     {
         if (hops.empty())
             return 1;
-        return hops[core_index % hops.size()];
+        return hops[core_index];
     }
 };
 

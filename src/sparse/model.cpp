@@ -16,7 +16,11 @@ resolvePattern(const LayerSpec& layer, const SparsityConfig& cfg,
     active = false;
     n_out = 0;
     m_out = 0;
-    if (cfg.optimizedMapping) {
+    // Row-wise mapping only applies to layers the topology marks as
+    // sparse (SparsitySupport column, sparseN/M != 0) and only when
+    // sparsity is enabled — never silently to dense layers.
+    if (cfg.enabled && cfg.optimizedMapping && layer.sparseN != 0
+        && layer.sparseM != 0) {
         // Row-wise N:M with randomized N <= M/2 per block.
         Rng rng(cfg.seed ^ (layer_index * 0x9e3779b97f4a7c15ull));
         auto pattern = SparsityPattern::rowWise(gemm.k, cfg.blockSize,

@@ -20,6 +20,7 @@ Cycle
 BandwidthMemory::busOccupy(Count words, Cycle now)
 {
     const double start = std::max(static_cast<double>(now), busFree_);
+    lastWait_ = static_cast<Cycle>(start) - now;
     busFree_ = start + static_cast<double>(words) / wordsPerCycle_;
     return static_cast<Cycle>(std::ceil(busFree_));
 }

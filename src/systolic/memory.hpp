@@ -69,6 +69,14 @@ class MainMemory
     virtual Cycle issueRead(Addr addr, Count words, Cycle now) = 0;
     virtual Cycle issueWrite(Addr addr, Count words, Cycle now) = 0;
 
+    /**
+     * Cycles the most recent issueRead/issueWrite spent waiting behind
+     * other traffic before its transfer started (0 for models without
+     * a shared serialization point). Lets a decorator attribute
+     * contention wait per requester in a shared-timeline co-simulation.
+     */
+    virtual Cycle lastIssueWait() const { return 0; }
+
     const MemoryStats& stats() const { return stats_; }
     void clearStats() { stats_ = {}; }
 
@@ -93,6 +101,8 @@ class BandwidthMemory : public MainMemory
     Cycle issueRead(Addr addr, Count words, Cycle now) override;
     Cycle issueWrite(Addr addr, Count words, Cycle now) override;
 
+    Cycle lastIssueWait() const override { return lastWait_; }
+
     /**
      * Rewind the bus cursor to time zero. Used when several agents
      * that run concurrently in real time are simulated one after the
@@ -107,6 +117,7 @@ class BandwidthMemory : public MainMemory
     double wordsPerCycle_;
     Cycle baseLatency_;
     double busFree_ = 0.0;
+    Cycle lastWait_ = 0;
 };
 
 /**

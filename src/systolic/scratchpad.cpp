@@ -67,30 +67,8 @@ validated(const ScratchpadConfig& cfg)
     return cfg;
 }
 
-} // namespace
-
-DoubleBufferedScratchpad::DoubleBufferedScratchpad(
-    const ScratchpadConfig& cfg, MainMemory& memory)
-    : cfg_(validated(cfg)), memory_(memory),
-      // One shadow buffer per prefetch-depth step; the rest of each
-      // SRAM holds resident data.
-      ifmapCache_(cfg_.ifmapWords / (1 + cfg_.prefetchDepth)),
-      filterCache_(cfg_.filterWords / (1 + cfg_.prefetchDepth))
-{
-}
-
-void
-DoubleBufferedScratchpad::reset()
-{
-    ifmapCache_.clear();
-    filterCache_.clear();
-}
-
-namespace
-{
-
 /** Per-fold fetch/writeback description. */
-struct FoldPlan
+struct FoldPlanData
 {
     std::vector<DoubleBufferedScratchpad::TileSpan> reads;
     DoubleBufferedScratchpad::TileSpan writeback;
@@ -130,6 +108,190 @@ convIfmapRows(const OperandMap& op, std::uint64_t m_lo,
 }
 
 } // namespace
+
+/**
+ * Resumable layer state: everything the old monolithic fold loop kept
+ * in locals, plus a burst cursor that remembers which transaction of
+ * which span of which phase comes next. One transaction per step()
+ * keeps the engine interleavable at memory-request granularity.
+ */
+struct DoubleBufferedScratchpad::LayerRun
+{
+    LayerRun(const ScratchpadConfig& cfg, const FoldGrid& g,
+             const OperandMap& ops, Cycle start, double scale)
+        : grid(g), operands(ops), startCycle(start),
+          readQueue(cfg.readQueueSize), writeQueue(cfg.writeQueueSize),
+          pace(1.0 / cfg.issuePerCycle), computeEnd(start),
+          prevComputeStart(start), prevPrefetchDone(start)
+    {
+        foldLen = static_cast<Cycle>(std::llround(
+            static_cast<double>(grid.foldCycles()) * scale));
+        timing.computeCycles = foldLen * grid.numFolds();
+        timing.folds = grid.numFolds();
+    }
+
+    FoldGrid grid;
+    OperandMap operands;
+    Cycle startCycle;
+    RequestQueue readQueue;
+    RequestQueue writeQueue;
+    double pace;
+    Cycle foldLen = 0;
+    LayerTiming timing;
+    MemoryStats statsBefore;
+
+    // Fold-loop state (mirrors the original monolithic loop).
+    std::uint64_t rf = 0;
+    std::uint64_t cf = 0;
+    std::uint64_t foldIndex = 0;
+    bool firstFold = true;
+    Cycle computeEnd;
+    Cycle prevComputeStart;
+    Cycle prevPrefetchDone;
+    // Compute-start history for depth-d prefetch: the buffer for fold
+    // f frees up when fold f-depth starts computing.
+    std::vector<Cycle> startHistory;
+    bool pendingWriteback = false;
+    TileSpan pendingSpan;
+
+    // Current fold.
+    FoldPlanData plan;
+    Cycle issueBase = 0;
+    Cycle ready = 0;
+    Cycle readStallsBefore = 0;
+
+    /**
+     * Where the burst cursor stands: fetching the current fold's
+     * operands, draining the previous fold's writeback (issued after
+     * this fold's prefetch so call order matches time order), draining
+     * the last fold's writeback, or complete.
+     */
+    enum class Phase { FoldReads, PrevWrites, FinalWrites, Done };
+    Phase phase = Phase::Done;
+    std::size_t spanIdx = 0;
+    std::uint64_t seg = 0;
+    std::uint64_t segRemaining = 0;
+    Addr burstAddr = 0;
+    double nextIssue = 0.0;
+    Cycle lastWriteIssue = 0;
+
+    // The positioned (pending) transaction.
+    Count burstWords = 0;
+    Cycle burstWant = 0;
+    Cycle burstAt = kNoEvent;
+
+    /** Point the cursor at the start of `span`. */
+    void
+    startSpanCursor(const TileSpan& span, Cycle issue_start)
+    {
+        seg = 0;
+        segRemaining = span.segWords;
+        burstAddr = span.base;
+        nextIssue = static_cast<double>(issue_start);
+    }
+
+    /**
+     * Advance the cursor to the next burst of the current phase and
+     * precompute its issue time. Returns false when the phase has no
+     * more bursts. Pure with respect to the shared memory: only this
+     * engine's own queue is queried, so the result is a valid
+     * co-simulation horizon.
+     */
+    bool
+    positionBurst(std::uint32_t burst_limit)
+    {
+        for (;;) {
+            const bool reads = phase == Phase::FoldReads;
+            const TileSpan* span = nullptr;
+            if (reads) {
+                if (spanIdx >= plan.reads.size())
+                    return false;
+                span = &plan.reads[spanIdx];
+            } else {
+                if (spanIdx >= 1)
+                    return false;
+                span = &pendingSpan;
+            }
+            if (seg < span->segments && segRemaining > 0) {
+                burstWords = std::min<std::uint64_t>(segRemaining,
+                                                     burst_limit);
+                burstWant = static_cast<Cycle>(std::ceil(nextIssue));
+                RequestQueue& queue = reads ? readQueue : writeQueue;
+                burstAt = std::max(queue.slotAvailable(burstWant),
+                                   burstWant);
+                return true;
+            }
+            if (seg + 1 < span->segments) {
+                ++seg;
+                segRemaining = span->segWords;
+                burstAddr = span->base + seg * span->stride;
+            } else if (reads) {
+                ++spanIdx;
+                if (spanIdx < plan.reads.size()) {
+                    // Pacing restarts at the fold's issue base for
+                    // every span (as the original per-span loop did).
+                    startSpanCursor(plan.reads[spanIdx], issueBase);
+                }
+            } else {
+                ++spanIdx;
+            }
+        }
+    }
+
+    /** Enter a writeback phase for pendingSpan. */
+    void
+    beginWrites(Phase p, std::uint32_t burst_words)
+    {
+        const std::uint64_t reqs = spanRequests(pendingSpan,
+                                                burst_words);
+        Cycle writes_base = computeEnd > reqs ? computeEnd - reqs : 0;
+        writes_base = std::max(writes_base, prevComputeStart);
+        phase = p;
+        spanIdx = 0;
+        startSpanCursor(pendingSpan, writes_base);
+        lastWriteIssue = writes_base;
+    }
+
+    /**
+     * Retire a finished writeback phase: the drain overlaps the tail
+     * of the producing fold; only back-pressure extends the timeline.
+     */
+    void
+    closeWrites()
+    {
+        if (lastWriteIssue > computeEnd) {
+            timing.drainStallCycles += lastWriteIssue - computeEnd;
+            computeEnd = lastWriteIssue;
+        }
+        pendingWriteback = false;
+    }
+
+    void
+    complete()
+    {
+        phase = Phase::Done;
+        burstAt = kNoEvent;
+    }
+};
+
+DoubleBufferedScratchpad::DoubleBufferedScratchpad(
+    const ScratchpadConfig& cfg, MainMemory& memory)
+    : cfg_(validated(cfg)), memory_(memory),
+      // One shadow buffer per prefetch-depth step; the rest of each
+      // SRAM holds resident data.
+      ifmapCache_(cfg_.ifmapWords / (1 + cfg_.prefetchDepth)),
+      filterCache_(cfg_.filterWords / (1 + cfg_.prefetchDepth))
+{
+}
+
+DoubleBufferedScratchpad::~DoubleBufferedScratchpad() = default;
+
+void
+DoubleBufferedScratchpad::reset()
+{
+    ifmapCache_.clear();
+    filterCache_.clear();
+}
 
 void
 DoubleBufferedScratchpad::planConvIfmap(
@@ -176,70 +338,288 @@ DoubleBufferedScratchpad::planConvIfmap(
     flush(h_hi + 1);
 }
 
-Cycle
-DoubleBufferedScratchpad::issueReads(const TileSpan& span,
-                                     Cycle issue_base,
-                                     LayerTiming& timing)
+void
+DoubleBufferedScratchpad::planFold()
 {
-    RequestQueue& queue = *readQueue_;
-    Cycle ready = issue_base;
-    double next_issue = static_cast<double>(issue_base);
-    const double pace = 1.0 / cfg_.issuePerCycle;
-    for (std::uint64_t seg = 0; seg < span.segments; ++seg) {
-        const Addr seg_base = span.base + seg * span.stride;
-        std::uint64_t remaining = span.segWords;
-        Addr addr = seg_base;
-        while (remaining > 0) {
-            const Count words = std::min<std::uint64_t>(
-                remaining, cfg_.burstWords);
-            const Cycle want = static_cast<Cycle>(
-                std::ceil(next_issue));
-            const Cycle slot = queue.reserve(want);
-            const Cycle at = std::max(slot, want);
-            const Cycle done = memory_.issueRead(addr, words, at);
-            queue.push(done);
-            ready = std::max(ready, done);
-            next_issue = static_cast<double>(at) + pace;
-            ++timing.dramReadRequests;
-            timing.dramReadWords += words;
-            addr += words;
-            remaining -= words;
+    LayerRun& r = *run_;
+    const FoldGrid& grid = r.grid;
+    const OperandMap& operands = r.operands;
+    const std::uint64_t k_dim = grid.gemm().k;
+    const std::uint64_t m_dim = grid.gemm().m;
+    const std::uint64_t n_dim = grid.gemm().n;
+    // Address-space row pitch (global operand layout; differs from
+    // the grid dims for partitioned or sparsity-compressed runs).
+    const std::uint64_t n_pitch = operands.dims.n;
+    const std::uint64_t rf = r.rf;
+    const std::uint64_t cf = r.cf;
+    const std::uint64_t tr = grid.tileRows(rf);
+    const std::uint64_t tc = grid.tileCols(cf);
+    const std::uint64_t rbase = rf * grid.arrayRows();
+    const std::uint64_t cbase = cf * grid.arrayCols();
+
+    r.plan = FoldPlanData{};
+    FoldPlanData& plan = r.plan;
+    switch (grid.dataflow()) {
+      case Dataflow::OutputStationary: {
+        if (operands.conv) {
+            planConvIfmap(operands, rbase, rbase + tr - 1, 0,
+                          k_dim - 1, k_dim, plan.reads);
+        } else if (ifmapCache_.access(rf, tr * k_dim)) {
+            plan.reads.push_back({operands.ifmapAddr(rbase, 0),
+                                  1, tr * k_dim, 0});
+        }
+        if (filterCache_.access(cf, k_dim * tc)) {
+            plan.reads.push_back({operands.filterAddr(0, cbase),
+                                  k_dim, tc, n_pitch});
+        }
+        plan.writeback = {operands.ofmapAddr(rbase, cbase), tr,
+                          tc, n_pitch};
+        plan.hasWriteback = true;
+        break;
+      }
+      case Dataflow::WeightStationary: {
+        const std::uint64_t filter_key = rf * grid.colFolds() + cf;
+        if (filterCache_.access(filter_key, tr * tc)) {
+            plan.reads.push_back({operands.filterAddr(rbase, cbase),
+                                  tr, tc, n_pitch});
+        }
+        if (operands.conv) {
+            planConvIfmap(operands, 0, m_dim - 1, rbase,
+                          rbase + tr - 1, k_dim, plan.reads);
+        } else if (ifmapCache_.access(rf, m_dim * tr)) {
+            plan.reads.push_back({operands.ifmapAddr(0, rbase),
+                                  m_dim, tr, operands.dims.k});
+        }
+        const std::uint64_t ofmap_fold_words = m_dim * tc;
+        const bool spills = ofmap_fold_words > cfg_.ofmapWords;
+        const bool last_rf = rf + 1 == grid.rowFolds();
+        if (spills && rf > 0) {
+            // Partial sums re-loaded from DRAM.
+            plan.reads.push_back({operands.ofmapAddr(0, cbase),
+                                  m_dim, tc, n_pitch});
+        }
+        if (spills || last_rf) {
+            plan.writeback = {operands.ofmapAddr(0, cbase),
+                              m_dim, tc, n_pitch};
+            plan.hasWriteback = true;
+        }
+        break;
+      }
+      case Dataflow::InputStationary: {
+        const std::uint64_t ifmap_key = rf * grid.colFolds() + cf;
+        if (operands.conv) {
+            planConvIfmap(operands, cbase, cbase + tc - 1,
+                          rbase, rbase + tr - 1, k_dim, plan.reads);
+        } else if (ifmapCache_.access(ifmap_key, tr * tc)) {
+            plan.reads.push_back({operands.ifmapAddr(cbase, rbase),
+                                  tc, tr, operands.dims.k});
+        }
+        if (filterCache_.access(rf, n_dim * tr)) {
+            plan.reads.push_back({operands.filterAddr(rbase, 0),
+                                  1, tr * n_dim, 0});
+        }
+        const std::uint64_t ofmap_fold_words = tc * n_dim;
+        const bool spills = ofmap_fold_words > cfg_.ofmapWords;
+        const bool last_rf = rf + 1 == grid.rowFolds();
+        if (spills && rf > 0) {
+            plan.reads.push_back({operands.ofmapAddr(cbase, 0),
+                                  1, tc * n_dim, 0});
+        }
+        if (spills || last_rf) {
+            plan.writeback = {operands.ofmapAddr(cbase, 0), 1,
+                              tc * n_dim, 0};
+            plan.hasWriteback = true;
+        }
+        break;
+      }
+    }
+
+    // Prefetch may start once the previous fold's prefetch has
+    // finished and a buffer is free — i.e. fold f-depth has started
+    // computing (depth = 1 is classic double buffering).
+    Cycle buffer_free = r.startCycle;
+    if (r.foldIndex >= cfg_.prefetchDepth)
+        buffer_free = r.startHistory[r.foldIndex - cfg_.prefetchDepth];
+    r.issueBase = r.firstFold
+        ? r.startCycle
+        : std::max(r.prevPrefetchDone, buffer_free);
+    r.readStallsBefore = r.readQueue.fullStallCycles();
+    r.ready = r.issueBase;
+    r.phase = LayerRun::Phase::FoldReads;
+    r.spanIdx = 0;
+    if (!plan.reads.empty())
+        r.startSpanCursor(plan.reads[0], r.issueBase);
+}
+
+void
+DoubleBufferedScratchpad::foldWrapup()
+{
+    LayerRun& r = *run_;
+    const Cycle compute_start = std::max(r.computeEnd, r.ready);
+    // Stall attribution: the wait for prefetch data splits into the
+    // share caused by a full read queue (bandwidth) and the genuine
+    // prefetch miss latency; writeback extensions were charged to
+    // drain in closeWrites(). The three buckets sum exactly to
+    // stallCycles.
+    const Cycle gap = compute_start - r.computeEnd;
+    const Cycle queue_delay = r.readQueue.fullStallCycles()
+        - r.readStallsBefore;
+    const Cycle bandwidth_part = std::min(gap, queue_delay);
+    r.timing.bandwidthStallCycles += bandwidth_part;
+    r.timing.prefetchStallCycles += gap - bandwidth_part;
+    const Cycle fold_end = compute_start + r.foldLen;
+    if (cfg_.recordFoldSpans
+        && r.timing.foldSpans.size()
+            < LayerTiming::kMaxRecordedFoldSpans) {
+        r.timing.foldSpans.push_back(
+            {compute_start - r.startCycle,
+             fold_end - r.startCycle,
+             static_cast<std::uint32_t>(r.rf),
+             static_cast<std::uint32_t>(r.cf)});
+    }
+
+    if (r.plan.hasWriteback) {
+        r.pendingWriteback = true;
+        r.pendingSpan = r.plan.writeback;
+    }
+
+    r.prevPrefetchDone = r.ready;
+    r.prevComputeStart = compute_start;
+    r.startHistory.push_back(compute_start);
+    ++r.foldIndex;
+    r.computeEnd = fold_end;
+    r.firstFold = false;
+
+    ++r.cf;
+    if (r.cf == r.grid.colFolds()) {
+        r.cf = 0;
+        ++r.rf;
+    }
+    if (r.rf == r.grid.rowFolds()) {
+        if (r.pendingWriteback)
+            r.beginWrites(LayerRun::Phase::FinalWrites,
+                          cfg_.burstWords);
+        else
+            r.complete();
+    } else {
+        planFold();
+    }
+}
+
+void
+DoubleBufferedScratchpad::advance()
+{
+    LayerRun& r = *run_;
+    for (;;) {
+        switch (r.phase) {
+          case LayerRun::Phase::FoldReads:
+            if (r.positionBurst(cfg_.burstWords))
+                return;
+            // This fold's prefetch is fully issued; retire the
+            // previous fold's writeback (earlier in time) next.
+            if (r.pendingWriteback) {
+                r.beginWrites(LayerRun::Phase::PrevWrites,
+                              cfg_.burstWords);
+                break;
+            }
+            foldWrapup();
+            break;
+          case LayerRun::Phase::PrevWrites:
+            if (r.positionBurst(cfg_.burstWords))
+                return;
+            r.closeWrites();
+            foldWrapup();
+            break;
+          case LayerRun::Phase::FinalWrites:
+            if (r.positionBurst(cfg_.burstWords))
+                return;
+            r.closeWrites();
+            r.complete();
+            return;
+          case LayerRun::Phase::Done:
+            return;
         }
     }
-    return ready;
+}
+
+void
+DoubleBufferedScratchpad::beginLayer(const FoldGrid& grid,
+                                     const OperandMap& operands,
+                                     Cycle start_cycle,
+                                     double compute_scale)
+{
+    if (run_)
+        fatal("beginLayer() while a layer is already in flight");
+    run_ = std::make_unique<LayerRun>(cfg_, grid, operands,
+                                      start_cycle, compute_scale);
+    run_->statsBefore = memory_.stats();
+    planFold();
+    advance();
 }
 
 Cycle
-DoubleBufferedScratchpad::issueWrites(const TileSpan& span,
-                                      Cycle issue_base,
-                                      LayerTiming& timing)
+DoubleBufferedScratchpad::nextEventCycle() const
 {
-    RequestQueue& queue = *writeQueue_;
-    Cycle last_issue = issue_base;
-    double next_issue = static_cast<double>(issue_base);
-    const double pace = 1.0 / cfg_.issuePerCycle;
-    for (std::uint64_t seg = 0; seg < span.segments; ++seg) {
-        const Addr seg_base = span.base + seg * span.stride;
-        std::uint64_t remaining = span.segWords;
-        Addr addr = seg_base;
-        while (remaining > 0) {
-            const Count words = std::min<std::uint64_t>(
-                remaining, cfg_.burstWords);
-            const Cycle want = static_cast<Cycle>(
-                std::ceil(next_issue));
-            const Cycle slot = queue.reserve(want);
-            const Cycle at = std::max(slot, want);
-            const Cycle accepted = memory_.issueWrite(addr, words, at);
-            queue.push(accepted);
-            last_issue = std::max(last_issue, at);
-            next_issue = static_cast<double>(at) + pace;
-            ++timing.dramWriteRequests;
-            timing.dramWriteWords += words;
-            addr += words;
-            remaining -= words;
-        }
+    return run_ ? run_->burstAt : kNoEvent;
+}
+
+void
+DoubleBufferedScratchpad::step()
+{
+    if (!run_ || run_->burstAt == kNoEvent)
+        fatal("step() without a pending memory event");
+    LayerRun& r = *run_;
+    const bool reads = r.phase == LayerRun::Phase::FoldReads;
+    RequestQueue& queue = reads ? r.readQueue : r.writeQueue;
+    const Cycle slot = queue.reserve(r.burstWant);
+    const Cycle at = std::max(slot, r.burstWant);
+    if (reads) {
+        const Cycle done = memory_.issueRead(r.burstAddr, r.burstWords,
+                                             at);
+        queue.push(done);
+        r.ready = std::max(r.ready, done);
+        ++r.timing.dramReadRequests;
+        r.timing.dramReadWords += r.burstWords;
+    } else {
+        const Cycle accepted = memory_.issueWrite(r.burstAddr,
+                                                  r.burstWords, at);
+        queue.push(accepted);
+        r.lastWriteIssue = std::max(r.lastWriteIssue, at);
+        ++r.timing.dramWriteRequests;
+        r.timing.dramWriteWords += r.burstWords;
     }
-    return last_issue;
+    r.nextIssue = static_cast<double>(at) + r.pace;
+    r.burstAddr += r.burstWords;
+    r.segRemaining -= r.burstWords;
+    advance();
+}
+
+LayerTiming
+DoubleBufferedScratchpad::finishLayer()
+{
+    if (!run_ || run_->phase != LayerRun::Phase::Done)
+        fatal("finishLayer() before the layer completed");
+    LayerRun& r = *run_;
+    r.timing.totalCycles = r.computeEnd - r.startCycle;
+    r.timing.stallCycles =
+        r.timing.totalCycles > r.timing.computeCycles
+        ? r.timing.totalCycles - r.timing.computeCycles : 0;
+    r.timing.readQueueStalls = r.readQueue.fullStallCycles();
+    r.timing.writeQueueStalls = r.writeQueue.fullStallCycles();
+
+    const MemoryStats& stats_after = memory_.stats();
+    const Count read_reqs = stats_after.readRequests
+        - r.statsBefore.readRequests;
+    if (read_reqs) {
+        r.timing.avgReadLatency = static_cast<double>(
+            stats_after.totalReadLatency
+            - r.statsBefore.totalReadLatency)
+            / read_reqs;
+    }
+    LayerTiming timing = std::move(r.timing);
+    run_.reset();
+    totals_.accumulate(timing);
+    return timing;
 }
 
 LayerTiming
@@ -248,234 +628,10 @@ DoubleBufferedScratchpad::runLayer(const FoldGrid& grid,
                                    Cycle start_cycle,
                                    double compute_scale)
 {
-    LayerTiming timing;
-    RequestQueue read_queue(cfg_.readQueueSize);
-    RequestQueue write_queue(cfg_.writeQueueSize);
-    readQueue_ = &read_queue;
-    writeQueue_ = &write_queue;
-
-    const Cycle fold_len = static_cast<Cycle>(std::llround(
-        static_cast<double>(grid.foldCycles()) * compute_scale));
-    timing.computeCycles = fold_len * grid.numFolds();
-    timing.folds = grid.numFolds();
-
-    const MemoryStats stats_before = memory_.stats();
-
-    const std::uint64_t k_dim = grid.gemm().k;
-    const std::uint64_t m_dim = grid.gemm().m;
-    const std::uint64_t n_dim = grid.gemm().n;
-    // Address-space row pitches (global operand layout; differs from
-    // the grid dims for partitioned or sparsity-compressed runs).
-    const std::uint64_t n_pitch = operands.dims.n;
-
-    Cycle compute_end = start_cycle;
-    Cycle prev_compute_start = start_cycle;
-    Cycle prev_prefetch_done = start_cycle;
-    bool first_fold = true;
-    // Compute-start history for depth-d prefetch: the buffer for fold
-    // f frees up when fold f-depth starts computing.
-    std::vector<Cycle> start_history;
-    std::uint64_t fold_index = 0;
-    const std::uint32_t depth = cfg_.prefetchDepth;
-    // Writeback of fold f is issued after fold f+1's prefetch so call
-    // order matches time order (prefetch overlaps the previous fold's
-    // compute; the writeback happens at that fold's drain).
-    bool pending_writeback = false;
-    TileSpan pending_span;
-
-    for (std::uint64_t rf = 0; rf < grid.rowFolds(); ++rf) {
-        for (std::uint64_t cf = 0; cf < grid.colFolds(); ++cf) {
-            const std::uint64_t tr = grid.tileRows(rf);
-            const std::uint64_t tc = grid.tileCols(cf);
-            const std::uint64_t rbase = rf * grid.arrayRows();
-            const std::uint64_t cbase = cf * grid.arrayCols();
-
-            FoldPlan plan;
-            switch (grid.dataflow()) {
-              case Dataflow::OutputStationary: {
-                if (operands.conv) {
-                    planConvIfmap(operands, rbase, rbase + tr - 1, 0,
-                                  k_dim - 1, k_dim, plan.reads);
-                } else if (ifmapCache_.access(rf, tr * k_dim)) {
-                    plan.reads.push_back({operands.ifmapAddr(rbase, 0),
-                                          1, tr * k_dim, 0});
-                }
-                if (filterCache_.access(cf, k_dim * tc)) {
-                    plan.reads.push_back({operands.filterAddr(0, cbase),
-                                          k_dim, tc, n_pitch});
-                }
-                plan.writeback = {operands.ofmapAddr(rbase, cbase), tr,
-                                  tc, n_pitch};
-                plan.hasWriteback = true;
-                break;
-              }
-              case Dataflow::WeightStationary: {
-                const std::uint64_t filter_key =
-                    rf * grid.colFolds() + cf;
-                if (filterCache_.access(filter_key, tr * tc)) {
-                    plan.reads.push_back({operands.filterAddr(rbase,
-                                                              cbase),
-                                          tr, tc, n_pitch});
-                }
-                if (operands.conv) {
-                    planConvIfmap(operands, 0, m_dim - 1, rbase,
-                                  rbase + tr - 1, k_dim, plan.reads);
-                } else if (ifmapCache_.access(rf, m_dim * tr)) {
-                    plan.reads.push_back({operands.ifmapAddr(0, rbase),
-                                          m_dim, tr,
-                                          operands.dims.k});
-                }
-                const std::uint64_t ofmap_fold_words = m_dim * tc;
-                const bool spills = ofmap_fold_words > cfg_.ofmapWords;
-                const bool last_rf = rf + 1 == grid.rowFolds();
-                if (spills && rf > 0) {
-                    // Partial sums re-loaded from DRAM.
-                    plan.reads.push_back({operands.ofmapAddr(0, cbase),
-                                          m_dim, tc, n_pitch});
-                }
-                if (spills || last_rf) {
-                    plan.writeback = {operands.ofmapAddr(0, cbase),
-                                      m_dim, tc, n_pitch};
-                    plan.hasWriteback = true;
-                }
-                break;
-              }
-              case Dataflow::InputStationary: {
-                const std::uint64_t ifmap_key =
-                    rf * grid.colFolds() + cf;
-                if (operands.conv) {
-                    planConvIfmap(operands, cbase, cbase + tc - 1,
-                                  rbase, rbase + tr - 1, k_dim,
-                                  plan.reads);
-                } else if (ifmapCache_.access(ifmap_key, tr * tc)) {
-                    plan.reads.push_back({operands.ifmapAddr(cbase,
-                                                             rbase),
-                                          tc, tr, operands.dims.k});
-                }
-                if (filterCache_.access(rf, n_dim * tr)) {
-                    plan.reads.push_back({operands.filterAddr(rbase, 0),
-                                          1, tr * n_dim, 0});
-                }
-                const std::uint64_t ofmap_fold_words = tc * n_dim;
-                const bool spills = ofmap_fold_words > cfg_.ofmapWords;
-                const bool last_rf = rf + 1 == grid.rowFolds();
-                if (spills && rf > 0) {
-                    plan.reads.push_back({operands.ofmapAddr(cbase, 0),
-                                          1, tc * n_dim, 0});
-                }
-                if (spills || last_rf) {
-                    plan.writeback = {operands.ofmapAddr(cbase, 0), 1,
-                                      tc * n_dim, 0};
-                    plan.hasWriteback = true;
-                }
-                break;
-              }
-            }
-
-            // Prefetch may start once the previous fold's prefetch
-            // has finished and a buffer is free — i.e. fold
-            // f-depth has started computing (depth = 1 is classic
-            // double buffering).
-            Cycle buffer_free = start_cycle;
-            if (fold_index >= depth)
-                buffer_free = start_history[fold_index - depth];
-            const Cycle issue_base = first_fold
-                ? start_cycle
-                : std::max(prev_prefetch_done, buffer_free);
-            const Cycle read_stalls_before =
-                read_queue.fullStallCycles();
-            Cycle ready = issue_base;
-            for (const auto& span : plan.reads)
-                ready = std::max(ready, issueReads(span, issue_base,
-                                                   timing));
-
-            // Retire the previous fold's writeback now that this
-            // fold's (earlier-in-time) prefetch has been issued. The
-            // drain overlaps the tail of the producing fold; only
-            // back-pressure extends the timeline.
-            if (pending_writeback) {
-                const std::uint64_t reqs = spanRequests(
-                    pending_span, cfg_.burstWords);
-                Cycle writes_base = compute_end > reqs
-                    ? compute_end - reqs : 0;
-                writes_base = std::max(writes_base, prev_compute_start);
-                const Cycle last_issue = issueWrites(pending_span,
-                                                     writes_base,
-                                                     timing);
-                if (last_issue > compute_end) {
-                    timing.drainStallCycles += last_issue - compute_end;
-                    compute_end = last_issue;
-                }
-                pending_writeback = false;
-            }
-
-            const Cycle compute_start = std::max(compute_end, ready);
-            // Stall attribution: the wait for prefetch data splits
-            // into the share caused by a full read queue (bandwidth)
-            // and the genuine prefetch miss latency; writeback
-            // extensions were charged to drain above. The three
-            // buckets sum exactly to stallCycles.
-            const Cycle gap = compute_start - compute_end;
-            const Cycle queue_delay = read_queue.fullStallCycles()
-                - read_stalls_before;
-            const Cycle bandwidth_part = std::min(gap, queue_delay);
-            timing.bandwidthStallCycles += bandwidth_part;
-            timing.prefetchStallCycles += gap - bandwidth_part;
-            const Cycle fold_end = compute_start + fold_len;
-            if (cfg_.recordFoldSpans
-                && timing.foldSpans.size()
-                    < LayerTiming::kMaxRecordedFoldSpans) {
-                timing.foldSpans.push_back(
-                    {compute_start - start_cycle,
-                     fold_end - start_cycle,
-                     static_cast<std::uint32_t>(rf),
-                     static_cast<std::uint32_t>(cf)});
-            }
-
-            if (plan.hasWriteback) {
-                pending_writeback = true;
-                pending_span = plan.writeback;
-            }
-
-            prev_prefetch_done = ready;
-            prev_compute_start = compute_start;
-            start_history.push_back(compute_start);
-            ++fold_index;
-            compute_end = fold_end;
-            first_fold = false;
-        }
-    }
-    if (pending_writeback) {
-        const std::uint64_t reqs = spanRequests(pending_span,
-                                                cfg_.burstWords);
-        Cycle writes_base = compute_end > reqs ? compute_end - reqs : 0;
-        writes_base = std::max(writes_base, prev_compute_start);
-        const Cycle last_issue = issueWrites(pending_span, writes_base,
-                                             timing);
-        if (last_issue > compute_end) {
-            timing.drainStallCycles += last_issue - compute_end;
-            compute_end = last_issue;
-        }
-    }
-
-    timing.totalCycles = compute_end - start_cycle;
-    timing.stallCycles = timing.totalCycles > timing.computeCycles
-        ? timing.totalCycles - timing.computeCycles : 0;
-    timing.readQueueStalls = read_queue.fullStallCycles();
-    timing.writeQueueStalls = write_queue.fullStallCycles();
-
-    const MemoryStats& stats_after = memory_.stats();
-    const Count reads = stats_after.readRequests
-        - stats_before.readRequests;
-    if (reads) {
-        timing.avgReadLatency = static_cast<double>(
-            stats_after.totalReadLatency - stats_before.totalReadLatency)
-            / reads;
-    }
-    readQueue_ = nullptr;
-    writeQueue_ = nullptr;
-    totals_.accumulate(timing);
-    return timing;
+    beginLayer(grid, operands, start_cycle, compute_scale);
+    while (nextEventCycle() != kNoEvent)
+        step();
+    return finishLayer();
 }
 
 void

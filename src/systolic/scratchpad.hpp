@@ -16,6 +16,7 @@
 #define SCALESIM_SYSTOLIC_SCRATCHPAD_HH
 
 #include <list>
+#include <memory>
 #include <string>
 #include <vector>
 #include <unordered_map>
@@ -176,12 +177,21 @@ class TileCache
 /**
  * The fold-level memory-system scheduler. One instance per core; reuse
  * state persists across layers until reset().
+ *
+ * Two ways to drive it: runLayer() executes a whole layer at once
+ * (single-core use), or the incremental stepping interface
+ * (beginLayer / nextEventCycle / step / finishLayer) advances the
+ * layer one memory transaction at a time so several engines can be
+ * co-simulated against one shared memory timeline. runLayer() is
+ * implemented on top of the stepping interface, so both paths are
+ * bit-identical.
  */
 class DoubleBufferedScratchpad
 {
   public:
     DoubleBufferedScratchpad(const ScratchpadConfig& cfg,
                              MainMemory& memory);
+    ~DoubleBufferedScratchpad();
 
     /**
      * Run one layer.
@@ -195,6 +205,37 @@ class DoubleBufferedScratchpad
     LayerTiming runLayer(const FoldGrid& grid, const OperandMap& operands,
                          Cycle start_cycle = 0,
                          double compute_scale = 1.0);
+
+    /** nextEventCycle() value when the layer has no further events. */
+    static constexpr Cycle kNoEvent = ~static_cast<Cycle>(0);
+
+    /**
+     * Start a layer in stepping mode (parameters as runLayer). The
+     * engine positions itself at its first memory transaction; drive
+     * it with step() until nextEventCycle() == kNoEvent, then call
+     * finishLayer(). `grid` and `operands` are copied.
+     */
+    void beginLayer(const FoldGrid& grid, const OperandMap& operands,
+                    Cycle start_cycle = 0, double compute_scale = 1.0);
+
+    /**
+     * Cycle at which this engine issues its next memory transaction
+     * (run-until-blocked horizon for a co-simulation scheduler), or
+     * kNoEvent when the layer is complete. Depends only on this
+     * engine's own state — never on other engines sharing the memory —
+     * so a scheduler may interleave engines in any time-honoring order.
+     */
+    Cycle nextEventCycle() const;
+
+    /**
+     * Issue the pending memory transaction and advance (through any
+     * amount of pure fold bookkeeping) to the next one. Only valid
+     * while nextEventCycle() != kNoEvent.
+     */
+    void step();
+
+    /** Finalize the stepped layer and return its timing. */
+    LayerTiming finishLayer();
 
     /** Drop residency state (new workload / new core). */
     void reset();
@@ -221,18 +262,21 @@ class DoubleBufferedScratchpad
     };
 
   private:
+    /** Resumable per-layer state of the stepping engine. */
+    struct LayerRun;
+
     /** Plan row-granular ifmap fetches for a convolution fold. */
     void planConvIfmap(const OperandMap& operands, std::uint64_t m_lo,
                        std::uint64_t m_hi, std::uint64_t k_lo,
                        std::uint64_t k_hi, std::uint64_t effective_k,
                        std::vector<TileSpan>& reads);
 
-    /** Issue a tile's bursts; returns completion of the last read. */
-    Cycle issueReads(const TileSpan& span, Cycle issue_base,
-                     LayerTiming& timing);
-    /** Issue write bursts; returns last accepted-issue time. */
-    Cycle issueWrites(const TileSpan& span, Cycle issue_base,
-                      LayerTiming& timing);
+    /** Plan fold (rf, cf)'s fetches/writeback into run_->plan. */
+    void planFold();
+    /** Pure bookkeeping from one burst to the next issue point. */
+    void advance();
+    /** Close fold (rf, cf): stall attribution, move to the next. */
+    void foldWrapup();
 
     ScratchpadConfig cfg_;
     MainMemory& memory_;
@@ -240,9 +284,8 @@ class DoubleBufferedScratchpad
     TileCache filterCache_;
     /** Cumulative timing across layers (observability). */
     LayerTiming totals_;
-    // Valid only while runLayer is executing.
-    RequestQueue* readQueue_ = nullptr;
-    RequestQueue* writeQueue_ = nullptr;
+    /** Live between beginLayer() and finishLayer(). */
+    std::unique_ptr<LayerRun> run_;
 };
 
 } // namespace scalesim::systolic

@@ -334,7 +334,7 @@ TEST(TraceSim, SharedL2DeduplicatesPartitions)
     ASSERT_EQ(w.perCore.size(), 4u);
     EXPECT_GT(w.l2.hitRate(), 0.2);
     EXPECT_LT(w.dramReadWords, wo.dramReadWords);
-    EXPECT_LT(w.dramReadWords, w.l1ReadWords);
+    EXPECT_LT(w.dramReadWords, w.l1FillWords);
 }
 
 TEST(TraceSim, PartitionsCoverTheWholeProblem)

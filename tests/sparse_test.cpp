@@ -169,7 +169,10 @@ TEST(Model, DisabledConfigIgnoresAnnotation)
 TEST(Model, RowWiseVariesAcrossLayers)
 {
     LayerSpec layer = LayerSpec::gemm("l", 64, 32, 256);
+    layer.sparseN = 4; // sparse-annotated layer opts into row-wise
+    layer.sparseM = 8;
     SparsityConfig cfg;
+    cfg.enabled = true;
     cfg.optimizedMapping = true;
     cfg.blockSize = 8;
     SparseLayerModel m0(layer, cfg, 0);
@@ -180,6 +183,33 @@ TEST(Model, RowWiseVariesAcrossLayers)
     // Same layer index reproduces the same pattern.
     SparseLayerModel m0b(layer, cfg, 0);
     EXPECT_EQ(m0.pattern().blockNnz(), m0b.pattern().blockNnz());
+}
+
+TEST(Model, RowWiseLeavesDenseLayersDense)
+{
+    // A layer the topology marks dense (sparseN/M == 0) must stay
+    // dense even with optimizedMapping on — the row-wise branch used
+    // to compress every layer regardless of annotation or `enabled`.
+    LayerSpec dense_layer = LayerSpec::gemm("l", 64, 32, 256);
+    SparsityConfig cfg;
+    cfg.enabled = true;
+    cfg.optimizedMapping = true;
+    cfg.blockSize = 8;
+    SparseLayerModel dense_model(dense_layer, cfg, 0);
+    EXPECT_FALSE(dense_model.active());
+    EXPECT_EQ(dense_model.effectiveGemm().k, 256u);
+    EXPECT_EQ(dense_model.report().representation, "dense");
+
+    // Disabled sparsity must also override the mapping flag, even on
+    // an annotated layer.
+    LayerSpec annotated = dense_layer;
+    annotated.sparseN = 2;
+    annotated.sparseM = 4;
+    SparsityConfig off;
+    off.optimizedMapping = true; // enabled stays false
+    SparseLayerModel off_model(annotated, off, 0);
+    EXPECT_FALSE(off_model.active());
+    EXPECT_EQ(off_model.effectiveGemm().k, 256u);
 }
 
 TEST(Model, ReportHasRepresentationName)
