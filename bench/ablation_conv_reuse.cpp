@@ -59,9 +59,9 @@ main()
             / std::max<std::uint64_t>(1, r);
         table.row({layer.name,
                    format("%llux%llu/%llu",
-                          (unsigned long long)layer.filterH,
-                          (unsigned long long)layer.filterW,
-                          (unsigned long long)layer.stride),
+                          static_cast<unsigned long long>(layer.filterH),
+                          static_cast<unsigned long long>(layer.filterW),
+                          static_cast<unsigned long long>(layer.stride)),
                    benchutil::num(e), benchutil::num(r),
                    benchutil::fmt("%.2fx", ratio)});
         if (layer.type == LayerType::Conv) {
@@ -83,11 +83,11 @@ main()
                 three_by_three_saves ? "yes" : "NO");
     std::printf("whole-prefix totals: %llu -> %llu read words "
                 "(%.2fx), %llu -> %llu cycles\n",
-                (unsigned long long)expanded.dramReadWords,
-                (unsigned long long)reuse.dramReadWords,
+                static_cast<unsigned long long>(expanded.dramReadWords),
+                static_cast<unsigned long long>(reuse.dramReadWords),
                 static_cast<double>(expanded.dramReadWords)
                     / reuse.dramReadWords,
-                (unsigned long long)expanded.totalCycles,
-                (unsigned long long)reuse.totalCycles);
+                static_cast<unsigned long long>(expanded.totalCycles),
+                static_cast<unsigned long long>(reuse.totalCycles));
     return 0;
 }

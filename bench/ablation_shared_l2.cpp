@@ -52,8 +52,8 @@ main()
                 if (w.dramReadWords > wo.dramReadWords)
                     l2_always_saves = false;
                 table.row({layer.name, format("%llux%llu",
-                                              (unsigned long long)grid,
-                                              (unsigned long long)grid),
+                                              static_cast<unsigned long long>(grid),
+                                              static_cast<unsigned long long>(grid)),
                            toString(df),
                            benchutil::num(wo.dramReadWords),
                            benchutil::num(w.dramReadWords),

@@ -90,12 +90,12 @@ main()
                             for (int s = 0; s < 3; ++s) {
                                 table.row({format(
                                                "(%llu,%llu,%llu)/%u/%llu",
-                                               (unsigned long long)m,
-                                               (unsigned long long)n,
-                                               (unsigned long long)k,
+                                               static_cast<unsigned long long>(m),
+                                               static_cast<unsigned long long>(n),
+                                               static_cast<unsigned long long>(k),
                                                arr,
-                                               (unsigned long long)
-                                                   cores),
+                                               static_cast<unsigned long long>(
+                                                   cores)),
                                            toString(schemes[s]).substr(
                                                0, 9),
                                            benchutil::num(

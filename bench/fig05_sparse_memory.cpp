@@ -55,7 +55,7 @@ main()
         const Cycle c24 = totalCycles(kb, 2, 4);
         const Cycle c44 = totalCycles(kb, 4, 4);
         results.push_back({c14, c24, c44});
-        table.row({format("%llu kB", (unsigned long long)kb),
+        table.row({format("%llu kB", static_cast<unsigned long long>(kb)),
                    benchutil::num(c14), benchutil::num(c24),
                    benchutil::num(c44)});
     }

@@ -22,8 +22,8 @@ main()
     setQuiet(true);
     const GemmDims gemm{4096, 4096, 1024};
     std::printf("GEMM %llux%llux%llu on 16 cores of 32x32\n\n",
-                (unsigned long long)gemm.m, (unsigned long long)gemm.n,
-                (unsigned long long)gemm.k);
+                static_cast<unsigned long long>(gemm.m), static_cast<unsigned long long>(gemm.n),
+                static_cast<unsigned long long>(gemm.k));
 
     // 1. Partitioning schemes and the (Pr, Pc) search.
     std::printf("%-20s %6s %14s %12s %12s\n", "scheme", "PrxPc",
@@ -35,9 +35,9 @@ main()
             gemm, Dataflow::OutputStationary, 32, 32, 16, scheme));
         std::printf("%-20s %2llux%-3llu %14llu %12.1f %12.1f\n",
                     toString(scheme).c_str(),
-                    (unsigned long long)best.pr,
-                    (unsigned long long)best.pc,
-                    (unsigned long long)best.cycles,
+                    static_cast<unsigned long long>(best.pr),
+                    static_cast<unsigned long long>(best.pc),
+                    static_cast<unsigned long long>(best.cycles),
                     best.footprintWords / 1048576.0,
                     best.l2FootprintWords / 1048576.0);
     }
@@ -52,7 +52,7 @@ main()
         gemm, Dataflow::OutputStationary, VectorOp::Softmax);
     std::printf("\nhomogeneous 4x4 + softmax tail: makespan %llu, "
                 "imbalance %.3f, L2 saves %.1f MB\n",
-                (unsigned long long)homo.makespan, homo.imbalance,
+                static_cast<unsigned long long>(homo.makespan), homo.imbalance,
                 homo.dedupSavedWords() / 1048576.0);
 
     // 3. Heterogeneous cores: one row of 64x64, three rows of 32x32.
@@ -66,7 +66,7 @@ main()
                                         Dataflow::OutputStationary);
     std::printf("heterogeneous (row of 64x64): makespan %llu, "
                 "imbalance %.3f\n",
-                (unsigned long long)het.makespan, het.imbalance);
+                static_cast<unsigned long long>(het.makespan), het.imbalance);
 
     // 4. Non-uniform partitioning on a Simba-like distance profile.
     MultiCoreConfig skewed = MultiCoreConfig::homogeneous(core, 4, 4);
@@ -83,8 +83,8 @@ main()
         gemm, Dataflow::OutputStationary);
     std::printf("\nNoP-skewed grid: uniform makespan %llu -> "
                 "non-uniform %llu (%.1f%% better)\n",
-                (unsigned long long)uniform.makespan,
-                (unsigned long long)nonuniform.makespan,
+                static_cast<unsigned long long>(uniform.makespan),
+                static_cast<unsigned long long>(nonuniform.makespan),
                 100.0
                     * (1.0
                        - static_cast<double>(nonuniform.makespan)
@@ -92,8 +92,8 @@ main()
     std::printf("row shares (near -> far): ");
     for (std::uint64_t i = 0; i < 4; ++i) {
         std::printf("%llu ",
-                    (unsigned long long)
-                        nonuniform.perCore[i * 4].rowShare);
+                    static_cast<unsigned long long>(
+                        nonuniform.perCore[i * 4].rowShare));
     }
     std::printf("\n");
 
@@ -115,14 +115,14 @@ main()
     std::printf("\ntrace-level shared L2: DRAM reads %llu -> %llu "
                 "(%.0f%% saved), L2 hit rate %.2f, makespan %llu -> "
                 "%llu\n",
-                (unsigned long long)no_l2_run.dramReadWords,
-                (unsigned long long)l2_run.dramReadWords,
+                static_cast<unsigned long long>(no_l2_run.dramReadWords),
+                static_cast<unsigned long long>(l2_run.dramReadWords),
                 100.0 * (1.0 - static_cast<double>(
                                    l2_run.dramReadWords)
                              / no_l2_run.dramReadWords),
                 l2_run.l2.hitRate(),
-                (unsigned long long)no_l2_run.makespan,
-                (unsigned long long)l2_run.makespan);
+                static_cast<unsigned long long>(no_l2_run.makespan),
+                static_cast<unsigned long long>(l2_run.makespan));
 
     // 6. Contention models: the static 1/N bandwidth split versus the
     //    cycle-interleaved shared timeline on a bandwidth-starved bus.
@@ -145,12 +145,12 @@ main()
     std::printf("contention (4 words/cycle bus): static %llu vs "
                 "shared %llu cycles (%+.1f%%), %llu arb conflicts, "
                 "aggregate port queueing delay %llu cycles\n",
-                (unsigned long long)static_run.makespan,
-                (unsigned long long)shared_run.makespan,
+                static_cast<unsigned long long>(static_run.makespan),
+                static_cast<unsigned long long>(shared_run.makespan),
                 100.0 * (static_cast<double>(shared_run.makespan)
                              / static_run.makespan
                          - 1.0),
-                (unsigned long long)shared_run.arb.arbConflicts,
-                (unsigned long long)queue_delay);
+                static_cast<unsigned long long>(shared_run.arb.arbConflicts),
+                static_cast<unsigned long long>(queue_delay));
     return 0;
 }

@@ -112,8 +112,8 @@ main(int argc, char** argv)
         std::printf("  %3ux%-3u %s %5llu kB: %12llu cycles, %8.2f mJ, "
                     "EdP %.3g\n", p.array, p.array,
                     toString(p.dataflow).c_str(),
-                    (unsigned long long)p.sramKb,
-                    (unsigned long long)p.cycles, p.energyMj, p.edp);
+                    static_cast<unsigned long long>(p.sramKb),
+                    static_cast<unsigned long long>(p.cycles), p.energyMj, p.edp);
     }
     return 0;
 }

@@ -22,6 +22,7 @@
 #include <iostream>
 #include <string>
 
+#include "check/audit.hpp"
 #include "common/log.hpp"
 #include "common/workloads.hpp"
 #include "core/simulator.hpp"
@@ -42,10 +43,12 @@ usage()
         "                    [-w workload] [-o output_dir] [-s]\n"
         "                    [--stats file] [--stats-json file]\n"
         "                    [--trace file] [--json file]\n"
-        "                    [--no-fold-cache]\n"
+        "                    [--no-fold-cache] [--audit]\n"
         "                    [--multicore PRxPC] [--contention MODEL]\n"
         "  --no-fold-cache disable the fold-replay demand cache\n"
         "               (same outputs, slower trace mode)\n"
+        "  --audit      audit cross-module conservation laws after\n"
+        "               every layer; exit 2 on any violation\n"
         "  --stats      gem5-format stats.txt dump\n"
         "  --stats-json machine-readable stats dump\n"
         "  --json       full run report as one JSON document\n"
@@ -76,6 +79,7 @@ main(int argc, char** argv)
     std::string trace_path;
     bool write_traces = false;
     bool fold_cache = true;
+    bool audit = false;
     std::string multicore_grid;
     std::string contention_name = "shared";
     for (int i = 1; i < argc; ++i) {
@@ -107,6 +111,8 @@ main(int argc, char** argv)
             trace_path = next();
         } else if (arg == "--no-fold-cache") {
             fold_cache = false;
+        } else if (arg == "--audit") {
+            audit = true;
         } else if (arg == "--multicore") {
             multicore_grid = next();
         } else if (arg == "--contention") {
@@ -131,6 +137,8 @@ main(int argc, char** argv)
             cfg.memory.recordFoldSpans = true;
         if (!fold_cache)
             cfg.foldCache = false;
+        if (audit)
+            cfg.audit = true;
 
         if (!multicore_grid.empty()) {
             // Trace-level multi-core path: partition each layer over a
@@ -168,6 +176,7 @@ main(int argc, char** argv)
 
             multicore::MultiCoreTraceSimulator mcs(mc);
             obs::StatsRegistry reg;
+            check::InvariantAuditor auditor;
             Cycle makespan = 0;
             std::uint64_t conflicts = 0;
             std::uint64_t dram_read = 0;
@@ -177,6 +186,17 @@ main(int argc, char** argv)
                 const auto res = mcs.runLayer(layer);
                 res.registerStats(reg,
                                   "mc.l" + std::to_string(li));
+                if (audit) {
+                    const std::string scope = "mc.l"
+                        + std::to_string(li);
+                    auditor.auditArbiter(res, mc.useL2, scope);
+                    for (std::size_t c = 0; c < res.perCore.size();
+                         ++c) {
+                        auditor.auditStallAccounting(
+                            res.perCore[c],
+                            scope + ".core" + std::to_string(c));
+                    }
+                }
                 makespan += res.makespan;
                 conflicts += res.arb.arbConflicts;
                 dram_read += res.dramReadWords;
@@ -199,6 +219,14 @@ main(int argc, char** argv)
             if (mc.contention == multicore::ContentionModel::Shared)
                 std::cout << "arb conflicts:    " << conflicts
                           << "\n";
+            if (audit) {
+                auditor.report().registerStats(reg);
+                std::cout << "audit checks:     "
+                          << auditor.report().checks() << ", "
+                          << auditor.report().violations().size()
+                          << " violation(s)\n";
+                auditor.report().writeReport(std::cerr);
+            }
 
             auto dump_to = [&](const std::string& path,
                                auto writer) {
@@ -218,7 +246,7 @@ main(int argc, char** argv)
                 warn("--json/--trace/-s are single-core outputs; "
                      "ignored with --multicore");
             }
-            return 0;
+            return audit && !auditor.report().clean() ? 2 : 0;
         }
 
         inform("running %s (%zu layers) on a %ux%u %s array",
@@ -317,6 +345,10 @@ main(int argc, char** argv)
                       << run.totalEnergy.totalMj() << "\n"
                       << "avg power (W):  " << run.avgPowerW << "\n"
                       << "EdP:            " << run.edp << "\n";
+        }
+        if (run.audited && !run.audit.clean()) {
+            run.audit.writeReport(std::cerr);
+            return 2;
         }
     } catch (const FatalError& err) {
         std::cerr << "error: " << err.what() << "\n";

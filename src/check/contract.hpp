@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Zero-cost-in-Release contract macros. SIM_CHECK and friends are
+ * hot-path assertions over simulator invariants (conservation laws,
+ * monotonic clocks, queue accounting): they compile to nothing unless
+ * the build opted in, so instrumented engines pay nothing in the
+ * Release binaries the sweeps and benchmarks use.
+ *
+ * Enabled when either
+ *  - the build configured with -DSCALESIM_CHECKS=ON (which defines
+ *    SCALESIM_ENABLE_CHECKS for every target), or
+ *  - NDEBUG is not defined (plain Debug builds).
+ *
+ * A failed check is an internal invariant violation — the simulated
+ * numbers can no longer be trusted — so it panic()s (aborts) rather
+ * than throwing the user-error FatalError. For post-hoc, non-aborting
+ * auditing of whole runs, see check::InvariantAuditor in audit.hpp.
+ */
+
+#ifndef SCALESIM_CHECK_CONTRACT_HH
+#define SCALESIM_CHECK_CONTRACT_HH
+
+#include <cstdarg>
+#include <sstream>
+#include <string>
+
+#include "common/log.hpp"
+
+#if defined(SCALESIM_ENABLE_CHECKS) || !defined(NDEBUG)
+#define SIM_CHECKS_ENABLED 1
+#else
+#define SIM_CHECKS_ENABLED 0
+#endif
+
+namespace scalesim::check::detail
+{
+
+/** Render a checked operand for the failure message. */
+template <typename T>
+std::string
+renderValue(const T& value)
+{
+    std::ostringstream out;
+    out << value;
+    return out.str();
+}
+
+/**
+ * Build the optional failure message. The no-argument overload keeps
+ * SIM_CHECK(cond) from expanding into format("") — a zero-length
+ * format string gcc warns about under -Wformat.
+ */
+inline std::string
+checkMessage()
+{
+    return {};
+}
+
+__attribute__((format(printf, 1, 2))) inline std::string
+checkMessage(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string out = vformat(fmt, args);
+    va_end(args);
+    return out;
+}
+
+[[noreturn]] inline void
+checkFail(const char* file, int line, const char* expr,
+          const std::string& message)
+{
+    panic("%s:%d: SIM_CHECK(%s) failed%s%s", file, line, expr,
+          message.empty() ? "" : ": ", message.c_str());
+}
+
+template <typename A, typename B>
+[[noreturn]] void
+checkRelFail(const char* file, int line, const char* macro,
+             const char* a_expr, const char* b_expr, const A& a,
+             const B& b, const std::string& message)
+{
+    panic("%s:%d: %s(%s, %s) failed: %s vs %s%s%s", file, line, macro,
+          a_expr, b_expr, renderValue(a).c_str(),
+          renderValue(b).c_str(), message.empty() ? "" : ": ",
+          message.c_str());
+}
+
+} // namespace scalesim::check::detail
+
+#if SIM_CHECKS_ENABLED
+
+/** Assert `cond`; optional printf-style message after the condition. */
+#define SIM_CHECK(cond, ...)                                            \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::scalesim::check::detail::checkFail(                       \
+                __FILE__, __LINE__, #cond,                              \
+                ::scalesim::check::detail::checkMessage(__VA_ARGS__));  \
+        }                                                               \
+    } while (false)
+
+#define SIM_CHECK_REL_(macro, op, a, b, ...)                            \
+    do {                                                                \
+        const auto& sim_check_a_ = (a);                                 \
+        const auto& sim_check_b_ = (b);                                 \
+        if (!(sim_check_a_ op sim_check_b_)) {                          \
+            ::scalesim::check::detail::checkRelFail(                    \
+                __FILE__, __LINE__, macro, #a, #b, sim_check_a_,        \
+                sim_check_b_,                                           \
+                ::scalesim::check::detail::checkMessage(__VA_ARGS__));  \
+        }                                                               \
+    } while (false)
+
+/** Assert a == b, printing both values on failure. */
+#define SIM_CHECK_EQ(a, b, ...)                                         \
+    SIM_CHECK_REL_("SIM_CHECK_EQ", ==, a, b, __VA_ARGS__)
+/** Assert a != b. */
+#define SIM_CHECK_NE(a, b, ...)                                         \
+    SIM_CHECK_REL_("SIM_CHECK_NE", !=, a, b, __VA_ARGS__)
+/** Assert a <= b. */
+#define SIM_CHECK_LE(a, b, ...)                                         \
+    SIM_CHECK_REL_("SIM_CHECK_LE", <=, a, b, __VA_ARGS__)
+/** Assert a < b. */
+#define SIM_CHECK_LT(a, b, ...)                                         \
+    SIM_CHECK_REL_("SIM_CHECK_LT", <, a, b, __VA_ARGS__)
+
+#else // !SIM_CHECKS_ENABLED — compiled out entirely.
+
+#define SIM_CHECK(cond, ...) do {} while (false)
+#define SIM_CHECK_EQ(a, b, ...) do {} while (false)
+#define SIM_CHECK_NE(a, b, ...) do {} while (false)
+#define SIM_CHECK_LE(a, b, ...) do {} while (false)
+#define SIM_CHECK_LT(a, b, ...) do {} while (false)
+
+#endif // SIM_CHECKS_ENABLED
+
+#endif // SCALESIM_CHECK_CONTRACT_HH

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/csv.hpp"
@@ -32,9 +34,10 @@ canonical(std::string_view text)
 } // namespace
 
 IniFile
-IniFile::parseString(const std::string& text)
+IniFile::parseString(const std::string& text, const std::string& name)
 {
     IniFile ini;
+    ini.name_ = name;
     std::istringstream in(text);
     std::string line;
     std::string section = "general";
@@ -49,8 +52,8 @@ IniFile::parseString(const std::string& text)
         if (trimmed.front() == '[') {
             auto close = trimmed.find(']');
             if (close == std::string::npos)
-                fatal("config line %d: unterminated section header",
-                      line_no);
+                fatal("%s:%d: unterminated section header",
+                      name.c_str(), line_no);
             section = trim(trimmed.substr(1, close - 1));
             continue;
         }
@@ -60,12 +63,13 @@ IniFile::parseString(const std::string& text)
             eq = trimmed.find(':');
         }
         if (eq == std::string::npos)
-            fatal("config line %d: expected key = value", line_no);
+            fatal("%s:%d: expected key = value", name.c_str(), line_no);
         std::string key = trim(trimmed.substr(0, eq));
         std::string value = trim(trimmed.substr(eq + 1));
         if (key.empty())
-            fatal("config line %d: empty key", line_no);
-        ini.set(section, key, value);
+            fatal("%s:%d: empty key", name.c_str(), line_no);
+        ini.sections_[canonical(section)][canonical(key)] =
+            Entry{value, line_no};
     }
     return ini;
 }
@@ -78,65 +82,109 @@ IniFile::load(const std::string& path)
         fatal("cannot open config file: %s", path.c_str());
     std::stringstream buffer;
     buffer << in.rdbuf();
-    return parseString(buffer.str());
+    return parseString(buffer.str(), path);
 }
 
 void
 IniFile::set(std::string_view section, std::string_view key,
              const std::string& value)
 {
-    sections_[canonical(section)][canonical(key)] = value;
+    sections_[canonical(section)][canonical(key)] = Entry{value, 0};
+}
+
+const IniFile::Entry*
+IniFile::find(std::string_view section, std::string_view key) const
+{
+    auto sec = sections_.find(canonical(section));
+    if (sec == sections_.end())
+        return nullptr;
+    auto it = sec->second.find(canonical(key));
+    return it == sec->second.end() ? nullptr : &it->second;
+}
+
+void
+IniFile::badValue(std::string_view section, std::string_view key,
+                  const Entry& entry, const char* what) const
+{
+    fatal("%s:%d: %.*s.%.*s: '%s' %s", name_.c_str(), entry.line,
+          static_cast<int>(section.size()), section.data(),
+          static_cast<int>(key.size()), key.data(),
+          entry.value.c_str(), what);
 }
 
 bool
 IniFile::has(std::string_view section, std::string_view key) const
 {
-    auto sec = sections_.find(canonical(section));
-    if (sec == sections_.end())
-        return false;
-    return sec->second.count(canonical(key)) > 0;
+    return find(section, key) != nullptr;
 }
 
 std::string
 IniFile::getString(std::string_view section, std::string_view key,
                    const std::string& fallback) const
 {
-    auto sec = sections_.find(canonical(section));
-    if (sec == sections_.end())
-        return fallback;
-    auto it = sec->second.find(canonical(key));
-    return it == sec->second.end() ? fallback : it->second;
+    const Entry* entry = find(section, key);
+    return entry ? entry->value : fallback;
 }
 
 std::int64_t
 IniFile::getInt(std::string_view section, std::string_view key,
                 std::int64_t fallback) const
 {
-    std::string raw = getString(section, key);
-    if (raw.empty())
+    const Entry* entry = find(section, key);
+    if (!entry || entry->value.empty())
         return fallback;
+    const std::string& raw = entry->value;
     char* end = nullptr;
+    errno = 0;
     std::int64_t value = std::strtoll(raw.c_str(), &end, 0);
     if (end == raw.c_str() || *end != '\0')
-        fatal("config %.*s.%.*s: '%s' is not an integer",
-              static_cast<int>(section.size()), section.data(),
-              static_cast<int>(key.size()), key.data(), raw.c_str());
+        badValue(section, key, *entry, "is not an integer");
+    if (errno == ERANGE)
+        badValue(section, key, *entry, "overflows a 64-bit integer");
     return value;
+}
+
+std::uint64_t
+IniFile::getUint(std::string_view section, std::string_view key,
+                 std::uint64_t fallback) const
+{
+    const Entry* entry = find(section, key);
+    if (!entry || entry->value.empty())
+        return fallback;
+    std::int64_t value = getInt(section, key);
+    if (value < 0)
+        badValue(section, key, *entry, "must not be negative");
+    return static_cast<std::uint64_t>(value);
+}
+
+std::uint32_t
+IniFile::getUint32(std::string_view section, std::string_view key,
+                   std::uint32_t fallback) const
+{
+    const Entry* entry = find(section, key);
+    if (!entry || entry->value.empty())
+        return fallback;
+    std::uint64_t value = getUint(section, key);
+    if (value > std::numeric_limits<std::uint32_t>::max())
+        badValue(section, key, *entry, "overflows a 32-bit integer");
+    return static_cast<std::uint32_t>(value);
 }
 
 double
 IniFile::getDouble(std::string_view section, std::string_view key,
                    double fallback) const
 {
-    std::string raw = getString(section, key);
-    if (raw.empty())
+    const Entry* entry = find(section, key);
+    if (!entry || entry->value.empty())
         return fallback;
+    const std::string& raw = entry->value;
     char* end = nullptr;
+    errno = 0;
     double value = std::strtod(raw.c_str(), &end);
     if (end == raw.c_str() || *end != '\0')
-        fatal("config %.*s.%.*s: '%s' is not a number",
-              static_cast<int>(section.size()), section.data(),
-              static_cast<int>(key.size()), key.data(), raw.c_str());
+        badValue(section, key, *entry, "is not a number");
+    if (errno == ERANGE)
+        badValue(section, key, *entry, "is out of double range");
     return value;
 }
 
@@ -144,16 +192,15 @@ bool
 IniFile::getBool(std::string_view section, std::string_view key,
                  bool fallback) const
 {
-    std::string raw = canonical(getString(section, key));
-    if (raw.empty())
+    const Entry* entry = find(section, key);
+    if (!entry || entry->value.empty())
         return fallback;
+    std::string raw = canonical(entry->value);
     if (raw == "true" || raw == "1" || raw == "yes" || raw == "on")
         return true;
     if (raw == "false" || raw == "0" || raw == "no" || raw == "off")
         return false;
-    fatal("config %.*s.%.*s: '%s' is not a boolean",
-          static_cast<int>(section.size()), section.data(),
-          static_cast<int>(key.size()), key.data(), raw.c_str());
+    badValue(section, key, *entry, "is not a boolean");
 }
 
 std::string
@@ -190,10 +237,10 @@ SimConfig::fromIni(const IniFile& ini)
     SimConfig cfg;
     cfg.runName = ini.getString("general", "run_name", cfg.runName);
 
-    cfg.arrayRows = static_cast<std::uint32_t>(
-        ini.getInt("architecture", "ArrayHeight", cfg.arrayRows));
-    cfg.arrayCols = static_cast<std::uint32_t>(
-        ini.getInt("architecture", "ArrayWidth", cfg.arrayCols));
+    cfg.arrayRows = ini.getUint32("architecture", "ArrayHeight",
+                                  cfg.arrayRows);
+    cfg.arrayCols = ini.getUint32("architecture", "ArrayWidth",
+                                  cfg.arrayCols);
     if (cfg.arrayRows == 0 || cfg.arrayCols == 0)
         fatal("array dimensions must be non-zero");
 
@@ -202,35 +249,30 @@ SimConfig::fromIni(const IniFile& ini)
     std::string mode = ini.getString("general", "mode", "trace");
     cfg.mode = canonical(mode) == "analytical" ? SimMode::Analytical
                                                : SimMode::Trace;
+    cfg.audit = ini.getBool("general", "Audit", cfg.audit);
 
-    cfg.memory.ifmapSramKb = static_cast<std::uint64_t>(ini.getInt(
-        "architecture", "IfmapSramSzkB",
-        static_cast<std::int64_t>(cfg.memory.ifmapSramKb)));
-    cfg.memory.filterSramKb = static_cast<std::uint64_t>(ini.getInt(
-        "architecture", "FilterSramSzkB",
-        static_cast<std::int64_t>(cfg.memory.filterSramKb)));
-    cfg.memory.ofmapSramKb = static_cast<std::uint64_t>(ini.getInt(
-        "architecture", "OfmapSramSzkB",
-        static_cast<std::int64_t>(cfg.memory.ofmapSramKb)));
-    cfg.memory.ifmapOffset = static_cast<Addr>(ini.getInt(
-        "architecture", "IfmapOffset",
-        static_cast<std::int64_t>(cfg.memory.ifmapOffset)));
-    cfg.memory.filterOffset = static_cast<Addr>(ini.getInt(
-        "architecture", "FilterOffset",
-        static_cast<std::int64_t>(cfg.memory.filterOffset)));
-    cfg.memory.ofmapOffset = static_cast<Addr>(ini.getInt(
-        "architecture", "OfmapOffset",
-        static_cast<std::int64_t>(cfg.memory.ofmapOffset)));
-    cfg.memory.wordBytes = static_cast<std::uint32_t>(ini.getInt(
-        "architecture", "WordBytes", cfg.memory.wordBytes));
+    cfg.memory.ifmapSramKb = ini.getUint(
+        "architecture", "IfmapSramSzkB", cfg.memory.ifmapSramKb);
+    cfg.memory.filterSramKb = ini.getUint(
+        "architecture", "FilterSramSzkB", cfg.memory.filterSramKb);
+    cfg.memory.ofmapSramKb = ini.getUint(
+        "architecture", "OfmapSramSzkB", cfg.memory.ofmapSramKb);
+    cfg.memory.ifmapOffset = ini.getUint(
+        "architecture", "IfmapOffset", cfg.memory.ifmapOffset);
+    cfg.memory.filterOffset = ini.getUint(
+        "architecture", "FilterOffset", cfg.memory.filterOffset);
+    cfg.memory.ofmapOffset = ini.getUint(
+        "architecture", "OfmapOffset", cfg.memory.ofmapOffset);
+    cfg.memory.wordBytes = ini.getUint32(
+        "architecture", "WordBytes", cfg.memory.wordBytes);
     cfg.memory.bandwidthWordsPerCycle = ini.getDouble(
         "architecture", "Bandwidth", cfg.memory.bandwidthWordsPerCycle);
-    cfg.memory.burstWords = static_cast<std::uint32_t>(ini.getInt(
-        "architecture", "BurstWords", cfg.memory.burstWords));
-    cfg.memory.issuePerCycle = static_cast<std::uint32_t>(ini.getInt(
-        "architecture", "IssuePerCycle", cfg.memory.issuePerCycle));
-    cfg.memory.prefetchDepth = static_cast<std::uint32_t>(ini.getInt(
-        "architecture", "PrefetchDepth", cfg.memory.prefetchDepth));
+    cfg.memory.burstWords = ini.getUint32(
+        "architecture", "BurstWords", cfg.memory.burstWords);
+    cfg.memory.issuePerCycle = ini.getUint32(
+        "architecture", "IssuePerCycle", cfg.memory.issuePerCycle);
+    cfg.memory.prefetchDepth = ini.getUint32(
+        "architecture", "PrefetchDepth", cfg.memory.prefetchDepth);
     cfg.memory.im2colAddressing = ini.getBool(
         "architecture", "Im2colAddressing",
         cfg.memory.im2colAddressing);
@@ -239,10 +281,10 @@ SimConfig::fromIni(const IniFile& ini)
         cfg.memory.recordFoldSpans);
     cfg.foldCache = ini.getBool("architecture", "FoldCache",
                                 cfg.foldCache);
-    cfg.simdLanes = static_cast<std::uint32_t>(ini.getInt(
-        "architecture", "SimdLanes", cfg.simdLanes));
-    cfg.simdLatencyPerOp = static_cast<std::uint32_t>(ini.getInt(
-        "architecture", "SimdLatency", cfg.simdLatencyPerOp));
+    cfg.simdLanes = ini.getUint32("architecture", "SimdLanes",
+                                  cfg.simdLanes);
+    cfg.simdLatencyPerOp = ini.getUint32(
+        "architecture", "SimdLatency", cfg.simdLatencyPerOp);
 
     cfg.sparsity.enabled = ini.getBool("sparsity", "SparsitySupport",
                                        cfg.sparsity.enabled);
@@ -252,40 +294,40 @@ SimConfig::fromIni(const IniFile& ini)
         cfg.sparsity.rep = sparseRepFromString(
             ini.getString("sparsity", "SparseRep"));
     }
-    cfg.sparsity.blockSize = static_cast<std::uint32_t>(
-        ini.getInt("sparsity", "BlockSize", cfg.sparsity.blockSize));
-    cfg.sparsity.seed = static_cast<std::uint64_t>(ini.getInt(
-        "sparsity", "Seed", static_cast<std::int64_t>(cfg.sparsity.seed)));
+    cfg.sparsity.blockSize = ini.getUint32(
+        "sparsity", "BlockSize", cfg.sparsity.blockSize);
+    cfg.sparsity.seed = ini.getUint("sparsity", "Seed",
+                                    cfg.sparsity.seed);
 
     cfg.dram.enabled = ini.getBool("memory", "DramModel",
                                    cfg.dram.enabled);
     cfg.dram.tech = ini.getString("memory", "Tech", cfg.dram.tech);
-    cfg.dram.channels = static_cast<std::uint32_t>(
-        ini.getInt("memory", "Channels", cfg.dram.channels));
-    cfg.dram.ranksPerChannel = static_cast<std::uint32_t>(ini.getInt(
-        "memory", "Ranks", cfg.dram.ranksPerChannel));
-    cfg.dram.readQueueSize = static_cast<std::uint32_t>(ini.getInt(
-        "memory", "ReadQueueSize", cfg.dram.readQueueSize));
-    cfg.dram.writeQueueSize = static_cast<std::uint32_t>(ini.getInt(
-        "memory", "WriteQueueSize", cfg.dram.writeQueueSize));
+    cfg.dram.channels = ini.getUint32("memory", "Channels",
+                                      cfg.dram.channels);
+    cfg.dram.ranksPerChannel = ini.getUint32(
+        "memory", "Ranks", cfg.dram.ranksPerChannel);
+    cfg.dram.readQueueSize = ini.getUint32(
+        "memory", "ReadQueueSize", cfg.dram.readQueueSize);
+    cfg.dram.writeQueueSize = ini.getUint32(
+        "memory", "WriteQueueSize", cfg.dram.writeQueueSize);
     cfg.dram.coreClockMhz = ini.getDouble("memory", "CoreClockMhz",
                                           cfg.dram.coreClockMhz);
 
     cfg.layout.enabled = ini.getBool("layout", "LayoutModel",
                                      cfg.layout.enabled);
-    cfg.layout.banks = static_cast<std::uint32_t>(
-        ini.getInt("layout", "Banks", cfg.layout.banks));
-    cfg.layout.portsPerBank = static_cast<std::uint32_t>(
-        ini.getInt("layout", "PortsPerBank", cfg.layout.portsPerBank));
-    cfg.layout.onChipBandwidth = static_cast<std::uint32_t>(ini.getInt(
-        "layout", "OnChipBandwidth", cfg.layout.onChipBandwidth));
+    cfg.layout.banks = ini.getUint32("layout", "Banks",
+                                     cfg.layout.banks);
+    cfg.layout.portsPerBank = ini.getUint32(
+        "layout", "PortsPerBank", cfg.layout.portsPerBank);
+    cfg.layout.onChipBandwidth = ini.getUint32(
+        "layout", "OnChipBandwidth", cfg.layout.onChipBandwidth);
 
     cfg.energy.enabled = ini.getBool("energy", "EnergyModel",
                                      cfg.energy.enabled);
-    cfg.energy.rowSize = static_cast<std::uint32_t>(
-        ini.getInt("energy", "RowSize", cfg.energy.rowSize));
-    cfg.energy.bankSize = static_cast<std::uint32_t>(
-        ini.getInt("energy", "BankSize", cfg.energy.bankSize));
+    cfg.energy.rowSize = ini.getUint32("energy", "RowSize",
+                                       cfg.energy.rowSize);
+    cfg.energy.bankSize = ini.getUint32("energy", "BankSize",
+                                        cfg.energy.bankSize);
     cfg.energy.frequencyGhz = ini.getDouble("energy", "FrequencyGhz",
                                             cfg.energy.frequencyGhz);
     cfg.energy.node = ini.getString("energy", "Node", cfg.energy.node);

@@ -21,13 +21,16 @@ namespace scalesim
 
 /**
  * Minimal INI file: [section] headers, key = value pairs, '#'/';'
- * comments. Section and key lookups are case-insensitive.
+ * comments. Section and key lookups are case-insensitive. Every entry
+ * remembers its source line, so typed getters report malformed values
+ * as `file:line: section.key: ...` instead of silently truncating.
  */
 class IniFile
 {
   public:
     /** Parse INI text; malformed lines trigger fatal(). */
-    static IniFile parseString(const std::string& text);
+    static IniFile parseString(const std::string& text,
+                               const std::string& name = "<string>");
 
     /** Load and parse a file; fatal() when unreadable. */
     static IniFile load(const std::string& path);
@@ -36,8 +39,16 @@ class IniFile
 
     std::string getString(std::string_view section, std::string_view key,
                           const std::string& fallback = "") const;
+    /** Parse as integer; trailing garbage and overflow are fatal(). */
     std::int64_t getInt(std::string_view section, std::string_view key,
                         std::int64_t fallback = 0) const;
+    /** getInt that additionally rejects negative values. */
+    std::uint64_t getUint(std::string_view section, std::string_view key,
+                          std::uint64_t fallback = 0) const;
+    /** getUint bounded to 32 bits (array dims, queue sizes, ...). */
+    std::uint32_t getUint32(std::string_view section,
+                            std::string_view key,
+                            std::uint32_t fallback = 0) const;
     double getDouble(std::string_view section, std::string_view key,
                      double fallback = 0.0) const;
     bool getBool(std::string_view section, std::string_view key,
@@ -46,9 +57,25 @@ class IniFile
     void set(std::string_view section, std::string_view key,
              const std::string& value);
 
+    /** Source label used in error messages (path or "<string>"). */
+    const std::string& source() const { return name_; }
+
   private:
-    // canonical(section) -> canonical(key) -> raw value
-    std::map<std::string, std::map<std::string, std::string>> sections_;
+    struct Entry
+    {
+        std::string value;
+        int line = 0; ///< 0 when set programmatically
+    };
+
+    const Entry* find(std::string_view section,
+                      std::string_view key) const;
+    [[noreturn]] void badValue(std::string_view section,
+                               std::string_view key, const Entry& entry,
+                               const char* what) const;
+
+    std::string name_ = "<string>";
+    // canonical(section) -> canonical(key) -> entry
+    std::map<std::string, std::map<std::string, Entry>> sections_;
 };
 
 /** How the compute engine is evaluated. */
@@ -189,6 +216,13 @@ struct SimConfig
      * output either way; off trades speed for simpler debugging.
      */
     bool foldCache = true;
+
+    /**
+     * Audit cross-module conservation laws after every layer and at
+     * end of run (check::InvariantAuditor); violations surface through
+     * sim.audit.* stats and the JSON report. `--audit` on the CLI.
+     */
+    bool audit = false;
 
     /** Vector/SIMD unit next to the array (§III-C). */
     std::uint32_t simdLanes = 16;

@@ -83,7 +83,10 @@ fatal(const char* fmt, ...)
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    // Quiet mode still throws: the message travels in the exception,
+    // so embedders (and the fuzz harnesses) can silence the console.
+    if (!quiet())
+        std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     throw FatalError(msg);
 }
 

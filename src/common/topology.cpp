@@ -1,8 +1,10 @@
 #include "common/topology.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <istream>
+#include <limits>
 
 #include "common/csv.hpp"
 #include "common/log.hpp"
@@ -40,12 +42,17 @@ parseSparsityRatio(const std::string& text)
         fatal("malformed sparsity ratio '%s' (expected N:M)",
               text.c_str());
     char* end = nullptr;
+    errno = 0;
     long n = std::strtol(text.c_str(), &end, 10);
     if (end != text.c_str() + colon)
         fatal("malformed sparsity ratio '%s'", text.c_str());
     long m = std::strtol(text.c_str() + colon + 1, &end, 10);
-    if (*end != '\0' || n < 0 || m <= 0 || n > m)
+    if (*end != '\0' || errno == ERANGE || n < 0 || m <= 0 || n > m)
         fatal("malformed sparsity ratio '%s'", text.c_str());
+    if (n > std::numeric_limits<std::uint32_t>::max()
+        || m > std::numeric_limits<std::uint32_t>::max()) {
+        fatal("sparsity ratio '%s' out of range", text.c_str());
+    }
     return {static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(m)};
 }
 
@@ -59,9 +66,13 @@ parseDim(const std::string& cell, const char* what,
     if (cell.empty())
         fatal("layer %s: missing %s", layer.c_str(), what);
     char* end = nullptr;
+    errno = 0;
     long long v = std::strtoll(cell.c_str(), &end, 10);
-    if (*end != '\0' || v < 0)
+    if (end == cell.c_str() || *end != '\0' || v < 0)
         fatal("layer %s: bad %s value '%s'", layer.c_str(), what,
+              cell.c_str());
+    if (errno == ERANGE)
+        fatal("layer %s: %s value '%s' overflows", layer.c_str(), what,
               cell.c_str());
     return static_cast<std::uint64_t>(v);
 }

@@ -310,7 +310,7 @@ withBatch(Topology topo, std::uint64_t batch)
 {
     for (auto& layer : topo.layers)
         layer.batch = batch;
-    topo.name += format("_b%llu", (unsigned long long)batch);
+    topo.name += format("_b%llu", static_cast<unsigned long long>(batch));
     return topo;
 }
 

@@ -48,6 +48,8 @@ Simulator::Simulator(const SimConfig& cfg)
             energy::Ert::forNode(cfg_.energy.node), cfg_.energy,
             cfg_.numPes(), sram_kb);
     }
+    if (cfg_.audit)
+        auditor_ = std::make_unique<check::InvariantAuditor>();
 }
 
 Simulator::~Simulator() = default;
@@ -141,6 +143,15 @@ Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
             generator.run(tee);
         }
         foldCacheStats_.merge(generator.foldCacheStats());
+        if (auditor_ && action_visitor) {
+            // Audit the raw per-layer counts before stall/SIMD cycles
+            // and sparse-metadata reads are folded in below; the
+            // demand-agreement half only holds for the dense stream.
+            auditor_->auditEnergyActions(action_visitor->counts(),
+                                         generator.grid(),
+                                         !sparse_model.active(),
+                                         result.name);
+        }
     }
     if (layout_eval)
         result.layoutSlowdown = layout_eval->slowdown();
@@ -161,6 +172,18 @@ Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
     result.computeCycles = result.timing.computeCycles;
     result.totalCycles = result.timing.totalCycles;
     result.stallCycles = result.timing.stallCycles;
+    if (auditor_) {
+        auditor_->auditStallAccounting(result.timing, result.name);
+        auditor_->auditRuntimeEnvelope(result.timing, grid,
+                                       result.layoutSlowdown,
+                                       result.name);
+        if (cfg_.mode == SimMode::Trace && !sparse_model.active()) {
+            const auto prof = profiler_.scope(SimPhase::DemandGen);
+            auditor_->auditFoldReplayFidelity(
+                result.denseGemm, cfg_.dataflow, cfg_.arrayRows,
+                cfg_.arrayCols, operands, result.name);
+        }
+    }
 
     // Element-wise tail on the vector unit, serialized after the
     // matrix part (§III-C).
@@ -183,6 +206,10 @@ Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
         } else {
             result.actions = energy::analyticalActionCounts(grid,
                                                             cfg_.energy);
+            if (auditor_) {
+                auditor_->auditEnergyActions(result.actions, grid, true,
+                                             result.name);
+            }
         }
         // Stall and vector-tail cycles burn static + idle energy too.
         result.actions.cycles += result.stallCycles
@@ -268,6 +295,33 @@ Simulator::run(const Topology& topology)
     if (dram_)
         run.dramStats = dram_->system().totalStats();
     run.profile = profiler_.snapshot();
+    if (auditor_) {
+        // Re-sum the per-layer results independently of the running
+        // accumulation above, so drift between the two bookkeeping
+        // paths is caught.
+        Cycle sum_total = 0, sum_compute = 0, sum_stall = 0;
+        std::uint64_t sum_read = 0, sum_write = 0;
+        for (const auto& l : run.layers) {
+            const std::uint64_t reps = l.repetitions;
+            sum_total += l.totalCycles * reps;
+            sum_compute += l.computeCycles * reps;
+            sum_stall += l.stallCycles * reps;
+            sum_read += l.timing.dramReadWords * reps;
+            sum_write += l.timing.dramWriteWords * reps;
+        }
+        auditor_->auditRunTotals(run.totalCycles, run.computeCycles,
+                                 run.stallCycles, run.dramReadWords,
+                                 run.dramWriteWords, sum_total,
+                                 sum_compute, sum_stall, sum_read,
+                                 sum_write, "run");
+        auditor_->auditFoldCacheConservation(foldCacheStats_, "run");
+        auditor_->auditMemoryTraffic(scratchpad_->totals(),
+                                     memory_->stats(), "run");
+        if (dram_)
+            auditor_->auditDramSystem(dram_->system(), "dram");
+        run.audited = true;
+        run.audit = auditor_->report();
+    }
     run.registerStats(run.stats);
     registerStats(run.stats);
     return run;
@@ -376,6 +430,14 @@ RunResult::writeSummary(std::ostream& out) const
         stat("energy.avgPower_W", format("%.4f", avgPowerW),
              "average power");
         stat("energy.edp", format("%.4g", edp), "cycles x mJ");
+    }
+    if (audited) {
+        stat("sim.audit.checks", std::to_string(audit.checks()),
+             "invariant relations evaluated");
+        stat("sim.audit.violations",
+             std::to_string(audit.violations().size()),
+             "conservation laws found broken");
+        audit.writeReport(out);
     }
     if (profile.layersProfiled > 0)
         profile.writeReport(out);
@@ -508,6 +570,9 @@ RunResult::registerStats(obs::StatsRegistry& reg) const
     stall_frac.numerator = {{"sim.stallCycles", 1.0}};
     stall_frac.denominator = {{"sim.totalCycles", 1.0}};
     reg.addFormula("sim.stallFraction", "stalls / total", stall_frac);
+
+    if (audited)
+        audit.registerStats(reg);
 
     std::uint64_t sparse_layers = 0, dense_k = 0, compressed_k = 0;
     std::uint64_t original_bits = 0, new_bits = 0, metadata_bits = 0;
@@ -660,6 +725,22 @@ RunResult::writeJson(std::ostream& out) const
         json.field("onChip_mJ", totalEnergy.onChipMj());
         json.field("avgPower_W", avgPowerW);
         json.field("edp", edp);
+        json.endObject();
+    }
+
+    if (audited) {
+        json.key("audit").beginObject();
+        json.field("checks", audit.checks());
+        json.field("clean", audit.clean());
+        json.key("violations").beginArray();
+        for (const auto& v : audit.violations()) {
+            json.beginObject();
+            json.field("law", v.law);
+            json.field("scope", v.scope);
+            json.field("message", v.message);
+            json.endObject();
+        }
+        json.endArray();
         json.endObject();
     }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "common/config.hpp"
 #include "common/profiler.hpp"
 #include "common/topology.hpp"
@@ -88,6 +89,11 @@ struct RunResult
 
     /** Self-profiling data of the simulation itself (Table IV). */
     SimProfile profile;
+
+    /** True when the invariant auditor ran (SimConfig::audit). */
+    bool audited = false;
+    /** Conservation-law audit outcome (empty unless `audited`). */
+    check::AuditReport audit;
 
     /**
      * Hierarchical stats of this run: sim.* run totals plus every
@@ -166,6 +172,12 @@ class Simulator
         return foldCacheStats_;
     }
 
+    /** The invariant auditor (null unless SimConfig::audit). */
+    const check::InvariantAuditor* auditor() const
+    {
+        return auditor_.get();
+    }
+
     /**
      * Register component-state stats (dram.*, spad.*, mem.*) into a
      * registry. Called by run() on the result's registry; exposed for
@@ -186,6 +198,8 @@ class Simulator
     Cycle timeline_ = 0;
     /** Demand-generation fold-cache counters across layers. */
     systolic::FoldCacheStats foldCacheStats_;
+    /** Conservation-law auditor (only when SimConfig::audit). */
+    std::unique_ptr<check::InvariantAuditor> auditor_;
     /** Wall-clock/RSS self-measurement of this instance's runs. */
     SimProfiler profiler_;
 };

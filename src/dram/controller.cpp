@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/contract.hpp"
 #include "common/log.hpp"
 
 namespace scalesim::dram
@@ -224,6 +225,10 @@ Channel::serviceOne(const Pending& req)
         stats_.totalReadLatency += data_end - req.arrival;
     }
     stats_.lastCompletion = std::max(stats_.lastCompletion, data_end);
+    SIM_CHECK_EQ(stats_.rowHits + stats_.rowMisses
+                     + stats_.rowConflicts,
+                 stats_.reads + stats_.writes,
+                 "every access resolves to exactly one row outcome");
     return completion;
 }
 

@@ -1,5 +1,6 @@
 #include "multicore/arbiter.hpp"
 
+#include "check/contract.hpp"
 #include "common/log.hpp"
 
 namespace scalesim::multicore
@@ -43,6 +44,8 @@ RoundRobinArbiter::grant(const std::vector<Cycle>& next, Cycle none)
     ++stats_.grants;
     stats_.arbConflicts += waiting;
     stats_.waiters.sample(static_cast<double>(waiting));
+    SIM_CHECK_EQ(stats_.waiters.count, stats_.grants,
+                 "exactly one contention sample per grant");
 
     nextPriority_ = (best + 1) % ports_;
     return best;

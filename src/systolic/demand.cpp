@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "check/contract.hpp"
 #include "common/log.hpp"
 #include "systolic/fold_cache.hpp"
 
@@ -307,6 +308,9 @@ DemandGenerator::runCached(DemandVisitor& visitor) const
             visitor.endFold(rf, cf, fold_start);
         }
     }
+    SIM_CHECK_EQ(cacheStats_.foldsReplayed + cacheStats_.foldsLive,
+                 cacheStats_.foldsTotal,
+                 "every fold is either replayed or generated live");
     visitor.endLayer(fold_start);
 }
 

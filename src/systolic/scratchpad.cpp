@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "check/contract.hpp"
 #include "common/log.hpp"
 
 namespace scalesim::systolic
@@ -606,6 +607,14 @@ DoubleBufferedScratchpad::finishLayer()
         ? r.timing.totalCycles - r.timing.computeCycles : 0;
     r.timing.readQueueStalls = r.readQueue.fullStallCycles();
     r.timing.writeQueueStalls = r.writeQueue.fullStallCycles();
+    SIM_CHECK_EQ(r.timing.prefetchStallCycles
+                     + r.timing.drainStallCycles
+                     + r.timing.bandwidthStallCycles,
+                 r.timing.stallCycles,
+                 "stall breakdown must cover the stall total");
+    SIM_CHECK_EQ(r.timing.computeCycles + r.timing.stallCycles,
+                 r.timing.totalCycles,
+                 "compute + stall must cover the layer wall clock");
 
     const MemoryStats& stats_after = memory_.stats();
     const Count read_reqs = stats_after.readRequests

@@ -143,6 +143,99 @@ TEST(Ini, MalformedLinesAreFatal)
     EXPECT_THROW(IniFile::parseString("keywithoutvalue\n"), FatalError);
 }
 
+namespace
+{
+
+/** Expect `fn` to throw a FatalError whose message contains `needle`. */
+template <typename Fn>
+void
+expectFatalContaining(Fn&& fn, const std::string& needle)
+{
+    try {
+        fn();
+        FAIL() << "expected FatalError mentioning '" << needle << "'";
+    } catch (const FatalError& err) {
+        EXPECT_NE(std::string(err.what()).find(needle),
+                  std::string::npos)
+            << "actual message: " << err.what();
+    }
+}
+
+} // namespace
+
+TEST(Ini, RejectsTrailingGarbageWithFileAndLine)
+{
+    IniFile ini = IniFile::parseString(
+        "[architecture]\nArrayHeight = 32x\n", "bad.cfg");
+    expectFatalContaining(
+        [&] { (void)ini.getInt("architecture", "ArrayHeight"); },
+        "is not an integer");
+    expectFatalContaining(
+        [&] { (void)ini.getInt("architecture", "ArrayHeight"); },
+        "bad.cfg:2");
+}
+
+TEST(Ini, RejectsOverflowNegativeAndBadFloats)
+{
+    IniFile ini = IniFile::parseString(
+        "[architecture]\n"
+        "ArrayHeight = 99999999999999999999999\n"
+        "ArrayWidth = -4\n"
+        "Bandwidth = 1e999999\n"
+        "IfmapSramSzkB = 5000000000\n",
+        "bad.cfg");
+    expectFatalContaining(
+        [&] { (void)ini.getInt("architecture", "ArrayHeight"); },
+        "overflows a 64-bit integer");
+    expectFatalContaining(
+        [&] { (void)ini.getUint("architecture", "ArrayWidth", 1); },
+        "must not be negative");
+    expectFatalContaining(
+        [&] { (void)ini.getDouble("architecture", "Bandwidth"); },
+        "is out of double range");
+    expectFatalContaining(
+        [&] { (void)ini.getUint32("architecture", "IfmapSramSzkB",
+                                  1); },
+        "overflows a 32-bit integer");
+    // The same malformed values must be rejected on the fromIni path.
+    EXPECT_THROW((void)SimConfig::fromIni(ini), FatalError);
+}
+
+TEST(Topology, RejectsMalformedDimensions)
+{
+    const auto parse = [](const char* text) {
+        std::istringstream in(text);
+        return Topology::parseCsv(in, "bad");
+    };
+    expectFatalContaining(
+        [&] { parse("Layer, M, N, K,\nl0, 12, 12junk, 7,\n"); },
+        "bad N value");
+    expectFatalContaining(
+        [&] {
+            parse("Layer, M, N, K,\n"
+                  "l0, 12, 99999999999999999999999, 7,\n");
+        },
+        "overflows");
+    expectFatalContaining(
+        [&] { parse("Layer, M, N, K,\nl0, -3, 4, 7,\n"); },
+        "bad M value");
+    expectFatalContaining(
+        [&] { parse("Layer, M, N, K,\nl0, , 4, 7,\n"); },
+        "missing M");
+    expectFatalContaining(
+        [&] {
+            parse("Layer, M, N, K, SparsitySupport,\n"
+                  "l0, 4, 4, 4, 9:4,\n");
+        },
+        "malformed sparsity ratio");
+    expectFatalContaining(
+        [&] {
+            parse("Layer, M, N, K, SparsitySupport,\n"
+                  "l0, 4, 4, 4, 1:99999999999,\n");
+        },
+        "out of range");
+}
+
 TEST(SimConfig, FromIniDefaultsAndOverrides)
 {
     IniFile ini = IniFile::parseString(

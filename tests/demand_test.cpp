@@ -76,7 +76,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Dataflow::OutputStationary,
                       Dataflow::WeightStationary,
                       Dataflow::InputStationary),
-    [](const auto& info) { return toString(info.param); });
+    [](const auto& tpi) { return toString(tpi.param); });
 
 class DemandAddressesInRange : public ::testing::TestWithParam<Dataflow>
 {
@@ -108,7 +108,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Dataflow::OutputStationary,
                       Dataflow::WeightStationary,
                       Dataflow::InputStationary),
-    [](const auto& info) { return toString(info.param); });
+    [](const auto& tpi) { return toString(tpi.param); });
 
 TEST(DemandOs, EveryOutputWrittenExactlyOnce)
 {
@@ -209,7 +209,7 @@ INSTANTIATE_TEST_SUITE_P(
         // Single row/column degenerate shapes.
         OsFoldShape{"m_is_one", {1, 9, 7}, 8, 8},
         OsFoldShape{"n_is_one", {9, 1, 7}, 8, 8}),
-    [](const auto& info) { return std::string(info.param.label); });
+    [](const auto& tpi) { return std::string(tpi.param.label); });
 
 TEST(DemandOs, SkewTiming)
 {
@@ -437,10 +437,10 @@ INSTANTIATE_TEST_SUITE_P(
                           Dataflow::WeightStationary,
                           Dataflow::InputStationary),
         ::testing::Values(4u, 8u, 16u), ::testing::Values(4u, 8u)),
-    [](const auto& info) {
-        return toString(std::get<0>(info.param))
-            + format("_r%u_c%u", std::get<1>(info.param),
-                     std::get<2>(info.param));
+    [](const auto& tpi) {
+        return toString(std::get<0>(tpi.param))
+            + format("_r%u_c%u", std::get<1>(tpi.param),
+                     std::get<2>(tpi.param));
     });
 
 /** Sparse gather conservation across ratios. */
@@ -474,8 +474,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_pair(1u, 4u), std::make_pair(2u, 4u),
                       std::make_pair(3u, 4u), std::make_pair(1u, 8u),
                       std::make_pair(3u, 8u), std::make_pair(2u, 16u)),
-    [](const auto& info) {
-        return format("r%u_%u", info.param.first, info.param.second);
+    [](const auto& tpi) {
+        return format("r%u_%u", tpi.param.first, tpi.param.second);
     });
 
 TEST(DemandConv, BatchedImagesAddressDistinctTensors)

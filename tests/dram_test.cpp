@@ -378,7 +378,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllPresets, PresetSweep,
     ::testing::Values("DDR3_1600", "DDR4_2400", "DDR4_3200",
                       "LPDDR4_3200", "GDDR5_6000", "HBM2"),
-    [](const auto& info) { return info.param; });
+    [](const auto& tpi) { return tpi.param; });
 
 TEST(Channel, FawThrottlesActivationBursts)
 {

@@ -210,7 +210,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Dataflow::OutputStationary,
                       Dataflow::WeightStationary,
                       Dataflow::InputStationary),
-    [](const auto& info) { return toString(info.param); });
+    [](const auto& tpi) { return toString(tpi.param); });
 
 TEST(FoldCacheSparse, GatheredWsIsEquivalent)
 {

@@ -206,6 +206,6 @@ TEST_P(BankSweep, MonotoneImprovementTrend)
 INSTANTIATE_TEST_SUITE_P(Banks, BankSweep,
                          ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u,
                                            64u),
-                         [](const auto& info) {
-                             return format("b%u", info.param);
+                         [](const auto& tpi) {
+                             return format("b%u", tpi.param);
                          });

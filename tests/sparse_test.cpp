@@ -43,8 +43,9 @@ TEST(Pattern, OrigKMonotoneAndKept)
     std::uint64_t prev = 0;
     for (std::uint64_t i = 0; i < p.compressedK(); ++i) {
         const std::uint64_t k = p.origK(i);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_GT(k, prev);
+        }
         EXPECT_EQ(k % 4, 0u); // first row of each block
         prev = k;
     }
@@ -250,6 +251,6 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_pair(1u, 8u), std::make_pair(4u, 8u),
                       std::make_pair(8u, 16u),
                       std::make_pair(16u, 32u)),
-    [](const auto& info) {
-        return format("r%u_%u", info.param.first, info.param.second);
+    [](const auto& tpi) {
+        return format("r%u_%u", tpi.param.first, tpi.param.second);
     });

@@ -333,7 +333,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Dataflow::OutputStationary,
                       Dataflow::WeightStationary,
                       Dataflow::InputStationary),
-    [](const auto& info) { return toString(info.param); });
+    [](const auto& tpi) { return toString(tpi.param); });
 
 TEST(Scratchpad, ConvFootprintBelowIm2col)
 {
@@ -530,10 +530,10 @@ INSTANTIATE_TEST_SUITE_P(
                           Dataflow::WeightStationary,
                           Dataflow::InputStationary),
         ::testing::Values(4096ull, 65536ull, 1048576ull)),
-    [](const auto& info) {
-        return toString(std::get<0>(info.param))
+    [](const auto& tpi) {
+        return toString(std::get<0>(tpi.param))
             + format("_s%llu",
-                     (unsigned long long)std::get<1>(info.param));
+                     static_cast<unsigned long long>(std::get<1>(tpi.param)));
     });
 
 TEST(Scratchpad, HugeSramFetchesUniqueFootprintOnly)

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * libFuzzer harness for the generic CSV reader plus the small cell
+ * parsers layered on it (sparsity ratios, vector-tail names). Any
+ * outcome other than parsed cells or a clean FatalError is a finding.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/log.hpp"
+#include "common/topology.hpp"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    scalesim::setQuiet(true);
+    std::istringstream in(
+        std::string(reinterpret_cast<const char*>(data), size));
+    try {
+        const scalesim::CsvTable table = scalesim::CsvTable::parse(in);
+        for (std::size_t r = 0; r < table.numRows(); ++r) {
+            for (const std::string& cell : table.row(r)) {
+                try {
+                    (void)scalesim::parseSparsityRatio(cell);
+                } catch (const scalesim::FatalError&) {
+                    // Cell is not a valid N:M ratio: expected.
+                }
+            }
+        }
+        (void)table.findColumn("IFMAP Height");
+        (void)table.cell(0, "Layer name");
+    } catch (const scalesim::FatalError&) {
+        // Malformed input rejected with a clean diagnostic: expected.
+    }
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * libFuzzer harness for the topology CSV front-end: feeds arbitrary
+ * bytes through Topology::parseCsv (which exercises CsvTable, the
+ * dimension parser, sparsity ratios, and vector-tail names). Any
+ * outcome other than a parsed topology or a clean FatalError is a
+ * finding.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/log.hpp"
+#include "common/topology.hpp"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    scalesim::setQuiet(true);
+    std::istringstream in(
+        std::string(reinterpret_cast<const char*>(data), size));
+    try {
+        const scalesim::Topology topo =
+            scalesim::Topology::parseCsv(in, "fuzz");
+        (void)topo.totalMacs();
+        (void)topo.totalWeightWords();
+    } catch (const scalesim::FatalError&) {
+        // Malformed input rejected with a clean diagnostic: expected.
+    }
+    return 0;
+}
