@@ -32,6 +32,7 @@
 #include "common/workloads.hpp"
 #include "energy/action_counts.hpp"
 #include "systolic/demand.hpp"
+#include "systolic/simd.hpp"
 #include "systolic/trace_io.hpp"
 
 using namespace scalesim;
@@ -202,6 +203,7 @@ main(int argc, char** argv)
         << "  \"arrayCols\": " << cfg.arrayCols << ",\n"
         << "  \"dataflow\": \"" << toString(cfg.dataflow) << "\",\n"
         << "  \"reps\": " << std::max(1, reps) << ",\n"
+        << "  \"simdBackend\": \"" << simd::backendName() << "\",\n"
         << "  \"uncachedSeconds\": "
         << benchutil::fmt("%.6f", best_live) << ",\n"
         << "  \"cachedSeconds\": "

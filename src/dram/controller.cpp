@@ -1,6 +1,7 @@
 #include "dram/controller.hpp"
 
 #include <algorithm>
+#include <cctype>
 
 #include "check/contract.hpp"
 #include "common/log.hpp"
@@ -24,11 +25,36 @@ DramStats::merge(const DramStats& other)
     lastCompletion = std::max(lastCompletion, other.lastCompletion);
 }
 
+DramEngine
+dramEngineFromString(std::string_view text)
+{
+    std::string lower;
+    for (char ch : text) {
+        if (ch == '-' || ch == '_')
+            continue;
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch))));
+    }
+    if (lower == "eventskip")
+        return DramEngine::EventSkip;
+    if (lower == "stepped")
+        return DramEngine::Stepped;
+    fatal("unknown DRAM engine '%.*s' (eventskip|stepped)",
+          static_cast<int>(text.size()), text.data());
+}
+
+const char*
+toString(DramEngine engine)
+{
+    return engine == DramEngine::EventSkip ? "eventskip" : "stepped";
+}
+
 Channel::Channel(const DramTiming& timing, std::uint32_t ranks,
                  std::uint32_t reorder_window,
-                 std::uint32_t hit_streak_cap, PagePolicy policy)
+                 std::uint32_t hit_streak_cap, PagePolicy policy,
+                 DramEngine engine)
     : timing_(timing), reorderWindow_(reorder_window),
-      hitStreakCap_(hit_streak_cap), policy_(policy),
+      hitStreakCap_(hit_streak_cap), policy_(policy), engine_(engine),
       banks_(static_cast<std::size_t>(ranks) * timing.banksPerRank),
       bankStats_(banks_.size()), nextRefresh_(ranks, timing.tREFI)
 {
@@ -46,14 +72,27 @@ Channel::enqueue(const DecodedAddr& addr, bool write, Cycle arrival)
     if (gbank >= banks_.size())
         fatal("decoded bank %zu out of range (%zu banks)", gbank,
               banks_.size());
-    if (!pending_.empty() && arrival < pending_.back().arrival)
-        arrival = pending_.back().arrival; // enforce monotone arrivals
     Pending req;
     req.addr = addr;
     req.write = write;
     req.arrival = arrival;
     req.seq = nextSeq_++;
-    pending_.push_back(req);
+    req.gbank = static_cast<std::uint32_t>(gbank);
+    // Ordered insert. Arrivals are usually nondecreasing (push_back),
+    // but interleaved producers and merged trace files can run late:
+    // an out-of-order arrival used to be silently clamped up to the
+    // queue tail, distorting its latency and its FR-FCFS age. Instead
+    // place it where its arrival belongs, behind every request that
+    // arrived no later (FCFS ties keep enqueue order).
+    auto pos = pending_.end();
+    while (pos != pending_.begin() && (pos - 1)->arrival > arrival)
+        --pos;
+    [[maybe_unused]] const auto it = pending_.insert(pos, req);
+    SIM_CHECK((it == pending_.begin()
+               || (it - 1)->arrival <= it->arrival)
+                  && (it + 1 == pending_.end()
+                      || it->arrival <= (it + 1)->arrival),
+              "pending queue stays sorted by arrival");
     queueOccupancy_.sample(static_cast<double>(pending_.size()));
     stats_.firstArrival = std::min(stats_.firstArrival, arrival);
     return req.seq;
@@ -66,34 +105,33 @@ Channel::pickNext(Cycle decision_time)
     // the hit-streak cap to prevent starvation; otherwise the oldest.
     const std::size_t window = std::min<std::size_t>(pending_.size(),
                                                      reorderWindow_);
-    std::size_t oldest_arrived = pending_.size();
     for (std::size_t i = 0; i < window; ++i) {
         const Pending& req = pending_[i];
+        // The queue is sorted by arrival, so everything past the first
+        // future request is also in the future.
         if (req.arrival > decision_time)
             break;
-        if (oldest_arrived == pending_.size())
-            oldest_arrived = i;
-        const std::size_t gbank = static_cast<std::size_t>(req.addr.rank)
-            * timing_.banksPerRank + req.addr.bank;
-        const Bank& bank = banks_[gbank];
+        const Bank& bank = banks_[req.gbank];
         const bool hit = bank.open && bank.row == req.addr.row;
         if (hit) {
             const bool capped = hitStreak_ >= hitStreakCap_
-                && streakBank_ == gbank && streakRow_ == req.addr.row;
+                && streakBank_ == req.gbank
+                && streakRow_ == req.addr.row;
             if (!capped)
                 return i;
         }
     }
-    // No hit available (or streak capped): oldest arrived request, or
-    // the overall oldest if nothing has arrived yet.
-    return oldest_arrived < pending_.size() ? oldest_arrived : 0;
+    // No row hit available (or streak capped): fall back to the oldest
+    // request. Sorted arrivals make that index 0 in both cases — when
+    // nothing has arrived by decision_time, the front is the earliest
+    // future arrival, not an arbitrary queue-order artifact.
+    return 0;
 }
 
 Cycle
 Channel::serviceOne(const Pending& req)
 {
-    const std::size_t gbank = static_cast<std::size_t>(req.addr.rank)
-        * timing_.banksPerRank + req.addr.bank;
+    const std::size_t gbank = req.gbank;
     Bank& bank = banks_[gbank];
     Cycle dt = std::max(req.arrival, lastColCmd_);
 
@@ -118,8 +156,31 @@ Channel::serviceOne(const Pending& req)
         // Refreshes whose window already closed before this request:
         // exactly one count per elapsed tREFI, each leaving the rank's
         // rows closed as of its end.
-        while (next + timing_.tRFC <= dt)
-            refreshRank(next + timing_.tRFC);
+        if (engine_ == DramEngine::EventSkip) {
+            // Event-skip: the i-th catch-up refresh ends at
+            // next + i*tREFI + tRFC, so k = floor((dt - tRFC - next) /
+            // tREFI) + 1 of them fit before dt. Their effects fold
+            // into one bank sweep (ends increase, so only the last
+            // matters for preReady) and one stats/cursor bump —
+            // identical to running the Stepped loop k times.
+            if (next + timing_.tRFC <= dt) {
+                const std::uint64_t k =
+                    (dt - timing_.tRFC - next) / timing_.tREFI + 1;
+                const Cycle last_end = next
+                    + (k - 1) * timing_.tREFI + timing_.tRFC;
+                for (std::size_t b = first;
+                     b < first + timing_.banksPerRank; ++b) {
+                    banks_[b].open = false;
+                    banks_[b].preReady =
+                        std::max(banks_[b].preReady, last_end);
+                }
+                stats_.refreshes += k;
+                next += k * timing_.tREFI;
+            }
+        } else {
+            while (next + timing_.tRFC <= dt)
+                refreshRank(next + timing_.tRFC);
+        }
         // Refresh in progress (or due) at dt: the request waits it out.
         if (dt >= next) {
             const Cycle end = next + timing_.tRFC;
@@ -235,6 +296,34 @@ Channel::serviceOne(const Pending& req)
 Cycle
 Channel::serviceUntil(std::uint64_t seq)
 {
+    if (engine_ == DramEngine::EventSkip) {
+        // Batch-drain: one completion-map probe up front (the target
+        // may have been serviced out of order by an earlier drain),
+        // then service straight through to the target and hand its
+        // completion back directly — requests serviced on the way park
+        // in completed_ without being re-probed every iteration.
+        const auto done = completed_.find(seq);
+        if (done != completed_.end()) {
+            const Cycle completion = done->second;
+            completed_.erase(done);
+            return completion;
+        }
+        for (;;) {
+            if (pending_.empty())
+                panic("serviceUntil(%llu): request not pending",
+                      static_cast<unsigned long long>(seq));
+            const Cycle decision_time = std::max(
+                pending_.front().arrival, lastColCmd_);
+            const std::size_t idx = pickNext(decision_time);
+            const Pending req = pending_[idx];
+            pending_.erase(pending_.begin()
+                           + static_cast<std::ptrdiff_t>(idx));
+            const Cycle completion = serviceOne(req);
+            if (req.seq == seq)
+                return completion;
+            completed_[req.seq] = completion;
+        }
+    }
     for (;;) {
         auto done = completed_.find(seq);
         if (done != completed_.end()) {

@@ -15,6 +15,7 @@
 
 #include <deque>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +53,27 @@ enum class PagePolicy
     Open,
     Closed,
 };
+
+/**
+ * Controller scheduling engine. Both produce bit-identical schedules,
+ * stats, and completions; EventSkip is the production engine and
+ * Stepped the plain reference kept for A/B equivalence tests (the
+ * same pattern as ContentionModel::Static for the multi-core model).
+ *
+ * EventSkip fast-forwards idle stretches: refresh catch-up after a
+ * long gap is one closed-form division instead of a loop over every
+ * elapsed tREFI window, and serviceUntil() drains straight to the
+ * target request instead of re-probing the completion map after every
+ * serviced burst.
+ */
+enum class DramEngine
+{
+    EventSkip,
+    Stepped,
+};
+
+DramEngine dramEngineFromString(std::string_view text);
+const char* toString(DramEngine engine);
 
 /** Aggregate statistics of one channel (or summed across channels). */
 struct DramStats
@@ -108,11 +130,29 @@ class Channel
     Channel(const DramTiming& timing, std::uint32_t ranks,
             std::uint32_t reorder_window = 32,
             std::uint32_t hit_streak_cap = 16,
-            PagePolicy policy = PagePolicy::Open);
+            PagePolicy policy = PagePolicy::Open,
+            DramEngine engine = DramEngine::EventSkip);
 
-    /** Enqueue; returns the request's sequence handle. */
+    /** Enqueue; returns the request's sequence handle. Arrivals may
+     *  be out of order — the queue is kept sorted by arrival (ties
+     *  keep enqueue order), so "oldest" always means earliest. */
     std::uint64_t enqueue(const DecodedAddr& addr, bool write,
                           Cycle arrival);
+
+    /** nextEventCycle() value when nothing is pending. */
+    static constexpr Cycle kNoEvent = ~static_cast<Cycle>(0);
+
+    /**
+     * Arrival of the earliest pending request, or kNoEvent when the
+     * queue is empty — the channel's next natural service instant for
+     * event-skipping co-simulation (the DRAM analogue of
+     * DoubleBufferedScratchpad::nextEventCycle). Depends only on this
+     * channel's own queue.
+     */
+    Cycle nextEventCycle() const
+    {
+        return pending_.empty() ? kNoEvent : pending_.front().arrival;
+    }
 
     /** Service pending requests until `seq` completes; returns its
      *  completion time (data arrival for reads, column-command issue
@@ -158,6 +198,8 @@ class Channel
         bool write = false;
         Cycle arrival = 0;
         std::uint64_t seq = 0;
+        /** rank-major global bank index, precomputed at enqueue. */
+        std::uint32_t gbank = 0;
     };
 
     struct Bank
@@ -179,6 +221,7 @@ class Channel
     std::uint32_t reorderWindow_;
     std::uint32_t hitStreakCap_;
     PagePolicy policy_;
+    DramEngine engine_;
 
     std::deque<Pending> pending_;
     std::vector<Bank> banks_;

@@ -42,6 +42,7 @@ struct DramSystemConfig
     std::uint32_t reorderWindow = 32;
     std::uint32_t hitStreakCap = 16;
     PagePolicy pagePolicy = PagePolicy::Open;
+    DramEngine engine = DramEngine::EventSkip;
 };
 
 /** One entry of an externally supplied demand trace (§V-B Step 1). */
@@ -86,6 +87,10 @@ class DramSystem
 
     /** Ramulator-style batch simulation with FR-FCFS reordering. */
     TraceResult runTrace(const std::vector<TraceEntry>& trace);
+
+    /** Earliest pending arrival across channels (Channel::kNoEvent
+     *  when all queues are empty). */
+    Cycle nextEventCycle() const;
 
     /** Statistics summed across channels. */
     DramStats totalStats() const;

@@ -1,6 +1,7 @@
 #include "energy/action_counts.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/log.hpp"
 
@@ -37,17 +38,35 @@ ActionCounts::merge(const ActionCounts& other)
     cycles += other.cycles;
 }
 
-bool
-ActionCountVisitor::RowTracker::access(std::uint64_t row)
+void
+ActionCountVisitor::RowTrackerSet::reset(std::uint32_t banks,
+                                         std::uint32_t cap)
 {
-    auto it = std::find(rows.begin(), rows.end(), row);
-    if (it != rows.end()) {
-        std::rotate(rows.begin(), it, it + 1); // move to MRU
+    capacity = cap;
+    rows.assign(static_cast<std::size_t>(banks) * cap, 0);
+    sizes.assign(banks, 0);
+}
+
+bool
+ActionCountVisitor::RowTrackerSet::access(std::uint64_t bank,
+                                          std::uint64_t row)
+{
+    std::uint64_t* const base = rows.data() + bank * capacity;
+    const std::uint32_t n = sizes[bank];
+    std::uint32_t i = 0;
+    while (i < n && base[i] != row)
+        ++i;
+    if (i < n) {
+        // Hit: rotate [0, i] right by one, row becomes MRU.
+        std::copy_backward(base, base + i, base + i + 1);
+        base[0] = row;
         return true;
     }
-    rows.insert(rows.begin(), row);
-    if (rows.size() > capacity)
-        rows.pop_back();
+    // Miss: push to MRU, evicting the LRU entry when full.
+    const std::uint32_t keep = std::min(n, capacity - 1);
+    std::copy_backward(base, base + keep, base + keep + 1);
+    base[0] = row;
+    sizes[bank] = std::min(n + 1, capacity);
     return false;
 }
 
@@ -59,6 +78,12 @@ ActionCountVisitor::ActionCountVisitor(const EnergyConfig& cfg,
         fatal("energy RowSize must be non-zero");
     if (cfg_.bankSize == 0)
         fatal("energy BankSize must be non-zero");
+    // The per-address row lookup runs once per trace address; a
+    // power-of-two row size (the default and every preset) turns the
+    // division into a shift.
+    rowShift_ = std::has_single_bit(cfg_.rowSize)
+        ? static_cast<std::uint32_t>(std::countr_zero(cfg_.rowSize))
+        : kNoRowShift;
 }
 
 void
@@ -70,34 +95,67 @@ ActionCountVisitor::beginLayer(const systolic::FoldGrid& grid,
         * grid.arrayCols();
     arrayRows_ = grid.arrayRows();
     arrayCols_ = grid.arrayCols();
-    auto reset = [&](RowTracker& t) {
-        t.capacity = cfg_.bankSize;
-        t.clear();
-    };
-    ifmapRows_.resize(kTrackerBanks);
-    filterRows_.resize(kTrackerBanks);
-    ofmapReadRows_.resize(kTrackerBanks);
-    ofmapWriteRows_.resize(kTrackerBanks);
-    for (auto& t : ifmapRows_) reset(t);
-    for (auto& t : filterRows_) reset(t);
-    for (auto& t : ofmapReadRows_) reset(t);
-    for (auto& t : ofmapWriteRows_) reset(t);
+    ifmapRows_.reset(kTrackerBanks, cfg_.bankSize);
+    filterRows_.reset(kTrackerBanks, cfg_.bankSize);
+    ofmapReadRows_.reset(kTrackerBanks, cfg_.bankSize);
+    ofmapWriteRows_.reset(kTrackerBanks, cfg_.bankSize);
     layerStart_ = counts_;
 }
 
 void
-ActionCountVisitor::countAccesses(std::vector<RowTracker>& trackers,
+ActionCountVisitor::countAccesses(RowTrackerSet& trackers,
                                   std::span<const Addr> addrs,
                                   Count& random, Count& repeat)
 {
-    for (Addr addr : addrs) {
-        const std::uint64_t row = addr / cfg_.rowSize;
-        RowTracker& tracker = trackers[row % kTrackerBanks];
-        if (tracker.access(row))
-            ++repeat;
-        else
-            ++random;
+    const std::uint64_t row_size = cfg_.rowSize;
+    const std::uint32_t shift = rowShift_;
+    const std::uint32_t cap = trackers.capacity;
+    std::uint64_t* const rows = trackers.rows.data();
+    std::uint32_t* const sizes = trackers.sizes.data();
+    Count repeats = 0;
+    if (cap == 4) {
+        // Hot path for the default bank size. Systolic lanes stride
+        // across tracker banks, so hit depth (and hit/miss itself) is
+        // data-dependent and unpredictable — a branchy MRU walk eats
+        // a mispredict per address. Instead compute the hit mask and
+        // the rotated bank state unconditionally; everything lowers
+        // to conditional moves.
+        for (Addr addr : addrs) {
+            const std::uint64_t row =
+                shift != kNoRowShift ? addr >> shift : addr / row_size;
+            const std::uint64_t bank = row % kTrackerBanks;
+            std::uint64_t* const b = rows + bank * 4;
+            const std::uint64_t r0 = b[0];
+            const std::uint64_t r1 = b[1];
+            const std::uint64_t r2 = b[2];
+            const std::uint64_t r3 = b[3];
+            const std::uint32_t n = sizes[bank];
+            const bool h0 = r0 == row && n > 0;
+            const bool h1 = r1 == row && n > 1;
+            const bool h2 = r2 == row && n > 2;
+            const bool h3 = r3 == row && n > 3;
+            const bool hit = h0 | h1 | h2 | h3;
+            // MRU rotate-to-front (or insert-evict on a miss): slot i
+            // keeps its value when the hit was above it, else takes
+            // its predecessor's.
+            b[0] = row;
+            b[1] = h0 ? r1 : r0;
+            b[2] = (h0 | h1) ? r2 : r1;
+            b[3] = (h0 | h1 | h2) ? r3 : r2;
+            sizes[bank] = hit ? n : (n < 4 ? n + 1 : 4);
+            repeats += hit;
+        }
+    } else {
+        for (Addr addr : addrs) {
+            const std::uint64_t row =
+                shift != kNoRowShift ? addr >> shift : addr / row_size;
+            const std::uint64_t bank = row % kTrackerBanks;
+            if (trackers.access(bank, row))
+                ++repeats;
+        }
     }
+    repeat += repeats;
+    random += addrs.size() - repeats;
 }
 
 void

@@ -95,30 +95,42 @@ class ActionCountVisitor : public systolic::DemandVisitor
     const ActionCounts& counts() const { return counts_; }
 
   private:
-    /** MRU row-buffer tracker for the repeat lookup. */
-    struct RowTracker
+    /**
+     * Banked MRU row-buffer trackers for the repeat lookup, stored as
+     * one flat `banks * capacity` array (MRU first within each bank)
+     * so the per-address hot path is a single indexed load instead of
+     * a pointer chase through per-bank vectors.
+     */
+    struct RowTrackerSet
     {
-        std::vector<std::uint64_t> rows; // MRU front
+        std::vector<std::uint64_t> rows; ///< banks * capacity, MRU 1st
+        std::vector<std::uint32_t> sizes; ///< live rows per bank
         std::uint32_t capacity = 4;
-        bool access(std::uint64_t row);
-        void clear() { rows.clear(); }
+        void reset(std::uint32_t banks, std::uint32_t cap);
+        /** Classic MRU lookup+update; true when `row` was live. */
+        bool access(std::uint64_t bank, std::uint64_t row);
     };
 
-    void countAccesses(std::vector<RowTracker>& trackers,
+    void countAccesses(RowTrackerSet& trackers,
                        std::span<const Addr> addrs, Count& random,
                        Count& repeat);
 
+    /** rowShift_ sentinel: row size is not a power of two, divide. */
+    static constexpr std::uint32_t kNoRowShift = ~0u;
+
     EnergyConfig cfg_;
     bool clockGating_;
+    /** log2(rowSize) when rowSize is a power of two, else sentinel. */
+    std::uint32_t rowShift_ = kNoRowShift;
     ActionCounts counts_;
     /** counts_ snapshot taken at beginLayer, for per-layer deltas. */
     ActionCounts layerStart_;
-    // One tracker per SRAM bank (rows hash across banks), each holding
-    // `bankSize` open row buffers.
-    std::vector<RowTracker> ifmapRows_;
-    std::vector<RowTracker> filterRows_;
-    std::vector<RowTracker> ofmapReadRows_;
-    std::vector<RowTracker> ofmapWriteRows_;
+    // One tracker bank set per SRAM stream (rows hash across banks),
+    // each bank holding `bankSize` open row buffers.
+    RowTrackerSet ifmapRows_;
+    RowTrackerSet filterRows_;
+    RowTrackerSet ofmapReadRows_;
+    RowTrackerSet ofmapWriteRows_;
     double utilization_ = 0.0;
     std::uint64_t numPes_ = 0;
     std::uint32_t arrayRows_ = 1;

@@ -261,15 +261,20 @@ MultiCoreTraceSimulator::runLayerShared(const LayerSpec& layer)
     // simulated time rather than in core-enumeration order.
     if (!runs.empty()) {
         RoundRobinArbiter arb(runs.size(), cfg_.arbScanReverse);
+        // nextEventCycle() depends only on the engine's own state (see
+        // its contract), so stepping the granted engine can only move
+        // that one entry — maintain next[] incrementally instead of
+        // re-polling every engine per grant.
         std::vector<Cycle> next(runs.size());
+        for (std::size_t k = 0; k < runs.size(); ++k)
+            next[k] = runs[k].l1->nextEventCycle();
         for (;;) {
-            for (std::size_t k = 0; k < runs.size(); ++k)
-                next[k] = runs[k].l1->nextEventCycle();
             const std::size_t g = arb.grant(
                 next, systolic::DoubleBufferedScratchpad::kNoEvent);
             if (g == RoundRobinArbiter::kNone)
                 break;
             runs[g].l1->step();
+            next[g] = runs[g].l1->nextEventCycle();
         }
         result.arb = arb.stats();
     }

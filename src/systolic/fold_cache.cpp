@@ -1,5 +1,7 @@
 #include "systolic/fold_cache.hpp"
 
+#include "systolic/simd.hpp"
+
 namespace scalesim::systolic
 {
 
@@ -7,7 +9,7 @@ namespace
 {
 
 /**
- * Whole-arena shift: one vectorizable pass instead of per-address
+ * Whole-arena shift: one SIMD add-constant pass instead of per-address
  * arithmetic inside the cycle loop. A zero delta aliases the arena
  * directly. Negative deltas arrive as two's-complement Addr and the
  * unsigned wraparound addition realizes the signed shift.
@@ -19,9 +21,8 @@ shifted(const FoldCacheEntry::Stream& stream, std::int64_t delta,
     if (delta == 0)
         return stream.addrs;
     buf.resize(stream.addrs.size());
-    const Addr d = static_cast<Addr>(delta);
-    for (std::size_t i = 0; i < stream.addrs.size(); ++i)
-        buf[i] = stream.addrs[i] + d;
+    simd::addConstant(stream.addrs.data(), buf.data(),
+                      stream.addrs.size(), static_cast<Addr>(delta));
     return buf;
 }
 

@@ -1,0 +1,132 @@
+#include "systolic/simd.hpp"
+
+#include "common/log.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SCALESIM_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define SCALESIM_SIMD_X86 0
+#endif
+
+namespace scalesim::systolic::simd
+{
+
+namespace
+{
+
+void
+addConstantScalar(const Addr* src, Addr* dst, std::size_t n,
+                  Addr delta)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = src[i] + delta;
+}
+
+#if SCALESIM_SIMD_X86
+
+__attribute__((target("avx2"))) void
+addConstantAvx2(const Addr* src, Addr* dst, std::size_t n, Addr delta)
+{
+    const __m256i vdelta = _mm256_set1_epi64x(
+        static_cast<long long>(delta));
+    std::size_t i = 0;
+    // Two vectors per iteration keeps both load ports busy.
+    for (; i + 8 <= n; i += 8) {
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(src + i));
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(src + i + 4));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                            _mm256_add_epi64(a, vdelta));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 4),
+                            _mm256_add_epi64(b, vdelta));
+    }
+    for (; i + 4 <= n; i += 4) {
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                            _mm256_add_epi64(a, vdelta));
+    }
+    for (; i < n; ++i)
+        dst[i] = src[i] + delta;
+}
+
+#endif // SCALESIM_SIMD_X86
+
+using Kernel = void (*)(const Addr*, Addr*, std::size_t, Addr);
+
+Backend
+detectBackend()
+{
+#if SCALESIM_SIMD_X86
+    if (__builtin_cpu_supports("avx2"))
+        return Backend::Avx2;
+#endif
+    return Backend::Scalar;
+}
+
+Kernel
+kernelFor(Backend backend)
+{
+#if SCALESIM_SIMD_X86
+    if (backend == Backend::Avx2)
+        return addConstantAvx2;
+#else
+    (void)backend;
+#endif
+    return addConstantScalar;
+}
+
+Backend g_backend = detectBackend();
+Kernel g_kernel = kernelFor(g_backend);
+
+} // namespace
+
+Backend
+activeBackend()
+{
+    return g_backend;
+}
+
+const char*
+backendName()
+{
+    return g_backend == Backend::Avx2 ? "avx2" : "scalar";
+}
+
+bool
+backendSupported(Backend backend)
+{
+    if (backend == Backend::Scalar)
+        return true;
+#if SCALESIM_SIMD_X86
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+void
+setBackend(Backend backend)
+{
+    if (!backendSupported(backend))
+        fatal("SIMD backend not supported on this machine");
+    g_backend = backend;
+    g_kernel = kernelFor(backend);
+}
+
+void
+resetBackend()
+{
+    g_backend = detectBackend();
+    g_kernel = kernelFor(g_backend);
+}
+
+void
+addConstant(const Addr* src, Addr* dst, std::size_t n, Addr delta)
+{
+    g_kernel(src, dst, n, delta);
+}
+
+} // namespace scalesim::systolic::simd

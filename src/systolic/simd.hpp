@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the trace hot path. The fold
+ * cache replays a fold by adding one constant delta to a flat Addr
+ * arena — a pure streaming add that vectorizes perfectly. The kernel
+ * is selected once at startup: AVX2 (4 x 64-bit lanes) when the CPU
+ * supports it, otherwise a portable scalar loop. Both produce
+ * bit-identical results (unsigned wraparound addition), which the
+ * fold-cache golden tests pin by running each backend explicitly.
+ */
+
+#ifndef SCALESIM_SYSTOLIC_SIMD_HH
+#define SCALESIM_SYSTOLIC_SIMD_HH
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace scalesim::systolic::simd
+{
+
+/** Available add-constant kernel implementations. */
+enum class Backend
+{
+    Scalar,
+    Avx2,
+};
+
+/** Backend the next addConstant() call will use. */
+Backend activeBackend();
+
+/** Human-readable name of the active backend ("scalar"/"avx2"). */
+const char* backendName();
+
+/** True when `backend` can run on this machine. */
+bool backendSupported(Backend backend);
+
+/**
+ * Force a specific backend (tests / --no-simd style overrides).
+ * fatal() when the backend is not supported on this machine.
+ */
+void setBackend(Backend backend);
+
+/** Re-run CPU detection and select the best supported backend. */
+void resetBackend();
+
+/**
+ * dst[i] = src[i] + delta for i in [0, n). Two's-complement Addr
+ * wraparound realizes signed shifts. `src == dst` is allowed; other
+ * overlap is not.
+ */
+void addConstant(const Addr* src, Addr* dst, std::size_t n, Addr delta);
+
+} // namespace scalesim::systolic::simd
+
+#endif // SCALESIM_SYSTOLIC_SIMD_HH

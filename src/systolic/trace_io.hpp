@@ -28,6 +28,18 @@ namespace scalesim::systolic
  * `ofmap_reads` carries the partial-sum fetches of accumulating WS/IS
  * row folds (rf > 0) as a fourth stream so replayed traces account
  * for the full OFMAP SRAM traffic.
+ *
+ * Rows are formatted with std::to_chars into per-stream staging
+ * buffers and handed to the ostream in large blocks, bypassing the
+ * per-value iostream machinery that dominated trace-mode wall clock.
+ * Systolic demand is highly structured: consecutive rows of a stream
+ * are usually the previous row shifted by one constant (ifmap walks
+ * +1, filter strides by the tile width), so the writer keeps the text
+ * of the previous row and, when the constant-delta pattern holds,
+ * copies each number's digits and decimal-adds the delta in place —
+ * cheaper than re-deriving every digit with to_chars. Buffers drain
+ * at endLayer(), flush(), and destruction; read the target streams
+ * only after one of those points.
  */
 class SramTraceWriter : public DemandVisitor
 {
@@ -36,24 +48,52 @@ class SramTraceWriter : public DemandVisitor
                     std::ostream* filter_reads,
                     std::ostream* ofmap_writes,
                     std::ostream* ofmap_reads = nullptr);
+    ~SramTraceWriter() override;
 
     void cycle(Cycle clk, std::span<const Addr> ifmap_reads,
                std::span<const Addr> filter_reads,
                std::span<const Addr> ofmap_reads,
                std::span<const Addr> ofmap_writes) override;
 
+    void endLayer(Cycle total_cycles) override;
+
+    /** Drain every staging buffer into its stream. */
+    void flush();
+
     Count rowsWritten() const { return rows_; }
     /** Rows of the ofmap accumulate-read stream alone. */
     Count ofmapReadRows() const { return oreadRows_; }
 
   private:
-    static void writeRow(std::ostream& out, Cycle clk,
-                         std::span<const Addr> addrs);
+    /**
+     * One output stream plus its staging buffer and the location of
+     * the previous row's digits inside it (for the constant-delta
+     * patch fast path). Offsets rather than pointers: the buffer may
+     * be resized, and a flush invalidates the row wholesale via
+     * `havePrev`.
+     */
+    struct Sink
+    {
+        std::ostream* out = nullptr;
+        std::vector<char> buf;
+        std::size_t used = 0;
+        std::vector<Addr> baseVals; ///< last slow-path row's values
+        Addr accum = 0; ///< delta sum applied since baseVals was set
+        std::vector<std::uint32_t> prevOff;
+        std::vector<std::uint8_t> prevLen;
+        bool havePrev = false;
+    };
 
-    std::ostream* ifmap_;
-    std::ostream* filter_;
-    std::ostream* ofmap_;
-    std::ostream* oread_;
+    static void writeRow(Sink& sink, Cycle clk,
+                         std::span<const Addr> addrs);
+    static void patchRow(Sink& sink, char*& p,
+                         std::span<const Addr> addrs, Addr delta);
+    static void flushSink(Sink& sink);
+
+    Sink ifmap_;
+    Sink filter_;
+    Sink ofmap_;
+    Sink oread_;
     Count rows_ = 0;
     Count oreadRows_ = 0;
 };

@@ -311,24 +311,264 @@ TEST(Refresh, TwoRanksRefreshIndependently)
     // tREFI/tRFC are per-rank: each rank follows its own cadence and a
     // refresh closes only that rank's row buffers. The old channel-wide
     // nextRefresh_ both undercounted (one shared cadence for two
-    // ranks) and closed every rank's rows on each refresh.
+    // ranks) and closed every rank's rows on each refresh. Both
+    // engines must pin the same count — the closed-form catch-up of
+    // EventSkip is exact, not approximate.
     DramTiming t = timingPreset("DDR4_2400");
     t.tREFI = 1000;
     t.tRFC = 100;
-    Channel ch(t, 2);
-    auto read = [&](std::uint32_t rank, Cycle arrival) {
+    for (const DramEngine eng :
+         {DramEngine::EventSkip, DramEngine::Stepped}) {
+        Channel ch(t, 2, 32, 16, PagePolicy::Open, eng);
+        auto read = [&](std::uint32_t rank, Cycle arrival) {
+            DecodedAddr a;
+            a.rank = rank;
+            return ch.serviceUntil(ch.enqueue(a, false, arrival));
+        };
+        read(0, 1000); // lands in rank 0's first window: 1 refresh
+        read(1, 1500); // rank 1 catches up its own missed window: +1
+        read(0, 3500); // rank 0 catches up the 2000/3000 windows: +2
+        read(1, 3600); // rank 1 catches up the same two windows: +2
+        EXPECT_EQ(ch.stats().refreshes, 6u) << toString(eng);
+        // Every access found its bank closed (first touch or
+        // refreshed).
+        EXPECT_EQ(ch.stats().rowMisses, 4u) << toString(eng);
+        EXPECT_EQ(ch.stats().rowHits, 0u) << toString(eng);
+    }
+}
+
+TEST(Refresh, ClosedFormCatchUpCountIsExact)
+{
+    // One request after a gap spanning many tREFI windows: the
+    // event-skipping engine must fold the missed windows into exactly
+    // floor((dt - tRFC - next) / tREFI) + 1 refreshes — the count the
+    // stepped loop produces one iteration at a time.
+    DramTiming t = timingPreset("DDR4_2400");
+    t.tREFI = 1000;
+    t.tRFC = 100;
+    for (const DramEngine eng :
+         {DramEngine::EventSkip, DramEngine::Stepped}) {
+        Channel ch(t, 1, 32, 16, PagePolicy::Open, eng);
         DecodedAddr a;
-        a.rank = rank;
-        return ch.serviceUntil(ch.enqueue(a, false, arrival));
+        // Windows start at 1000; ends 1100, 2100, ..., 57100 <= 57321.
+        ch.serviceUntil(ch.enqueue(a, false, 57'321));
+        EXPECT_EQ(ch.stats().refreshes, 57u) << toString(eng);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine A/B equivalence: EventSkip (production) vs Stepped
+// (reference). Identical completions, stats, and makespans on every
+// traffic shape, exactly like the ContentionModel::Static switch.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+void
+expectStatsEqual(const DramStats& a, const DramStats& b,
+                 const char* what)
+{
+    EXPECT_EQ(a.reads, b.reads) << what;
+    EXPECT_EQ(a.writes, b.writes) << what;
+    EXPECT_EQ(a.rowHits, b.rowHits) << what;
+    EXPECT_EQ(a.rowMisses, b.rowMisses) << what;
+    EXPECT_EQ(a.rowConflicts, b.rowConflicts) << what;
+    EXPECT_EQ(a.refreshes, b.refreshes) << what;
+    EXPECT_EQ(a.readBytes, b.readBytes) << what;
+    EXPECT_EQ(a.writeBytes, b.writeBytes) << what;
+    EXPECT_EQ(a.totalReadLatency, b.totalReadLatency) << what;
+    EXPECT_EQ(a.firstArrival, b.firstArrival) << what;
+    EXPECT_EQ(a.lastCompletion, b.lastCompletion) << what;
+}
+
+/** Run `trace` through both engines and demand bit-identity. */
+void
+expectEnginesAgree(DramSystemConfig cfg,
+                   const std::vector<TraceEntry>& trace,
+                   const char* what)
+{
+    cfg.engine = DramEngine::EventSkip;
+    DramSystem skip(cfg);
+    const TraceResult a = skip.runTrace(trace);
+    cfg.engine = DramEngine::Stepped;
+    DramSystem step(cfg);
+    const TraceResult b = step.runTrace(trace);
+    ASSERT_EQ(a.latency.size(), b.latency.size());
+    for (std::size_t i = 0; i < a.latency.size(); ++i)
+        EXPECT_EQ(a.latency[i], b.latency[i]) << what << " req " << i;
+    EXPECT_EQ(a.makespan, b.makespan) << what;
+    expectStatsEqual(a.stats, b.stats, what);
+}
+
+} // namespace
+
+TEST(Engine, FromStringAndToString)
+{
+    EXPECT_EQ(dramEngineFromString("eventskip"), DramEngine::EventSkip);
+    EXPECT_EQ(dramEngineFromString("Event-Skip"), DramEngine::EventSkip);
+    EXPECT_EQ(dramEngineFromString("event_skip"), DramEngine::EventSkip);
+    EXPECT_EQ(dramEngineFromString("STEPPED"), DramEngine::Stepped);
+    EXPECT_THROW(dramEngineFromString("turbo"), FatalError);
+    EXPECT_STREQ(toString(DramEngine::EventSkip), "eventskip");
+    EXPECT_STREQ(toString(DramEngine::Stepped), "stepped");
+}
+
+TEST(Engine, AbStreamingIdentical)
+{
+    const DramTiming t = timingPreset("DDR4_2400");
+    std::vector<TraceEntry> trace;
+    for (int i = 0; i < 256; ++i)
+        trace.push_back({static_cast<Cycle>(i) * 2,
+                         static_cast<Addr>(i) * t.burstBytes, false});
+    expectEnginesAgree(config(), trace, "streaming");
+}
+
+TEST(Engine, AbRowThrashIdentical)
+{
+    const DramTiming t = timingPreset("DDR4_2400");
+    const Addr stride = t.rowBytes * t.banksPerRank;
+    std::vector<TraceEntry> trace;
+    for (int i = 0; i < 128; ++i)
+        trace.push_back({static_cast<Cycle>(i) * 7,
+                         static_cast<Addr>(i % 3) * stride, false});
+    expectEnginesAgree(config(), trace, "row thrash");
+}
+
+TEST(Engine, AbMixedReadWriteIdentical)
+{
+    const DramTiming t = timingPreset("DDR4_2400");
+    std::vector<TraceEntry> trace;
+    for (int i = 0; i < 128; ++i) {
+        // Pseudo-random bank/row walk with read/write turnarounds.
+        const Addr addr = static_cast<Addr>((i * 2654435761u) % 4096)
+            * t.burstBytes;
+        trace.push_back({static_cast<Cycle>(i) * 5, addr, i % 3 == 0});
+    }
+    expectEnginesAgree(config(), trace, "mixed rw");
+}
+
+TEST(Engine, AbLongIdleGapsIdentical)
+{
+    // Idle stretches spanning 1, 40, and 500 tREFI windows between
+    // bursts of traffic: the closed-form refresh catch-up and the
+    // stepped per-window loop must land on identical bank state.
+    const DramTiming t = timingPreset("DDR4_2400");
+    std::vector<TraceEntry> trace;
+    Cycle now = 0;
+    const Cycle gaps[] = {t.tREFI + 3, 40 * t.tREFI + 17,
+                          500 * t.tREFI + 1};
+    for (const Cycle gap : gaps) {
+        for (int i = 0; i < 16; ++i)
+            trace.push_back({now + static_cast<Cycle>(i),
+                             static_cast<Addr>(i) * t.burstBytes,
+                             false});
+        now += gap;
+    }
+    expectEnginesAgree(config(), trace, "idle gaps");
+}
+
+TEST(Engine, AbTwoRanksFourChannelsIdentical)
+{
+    const DramTiming t = timingPreset("DDR4_2400");
+    DramSystemConfig cfg = config(4);
+    cfg.ranks = 2;
+    std::vector<TraceEntry> trace;
+    for (int i = 0; i < 256; ++i) {
+        const Addr addr = static_cast<Addr>((i * 40503u) % 16384)
+            * t.burstBytes;
+        trace.push_back({static_cast<Cycle>(i) * 3, addr, i % 4 == 0});
+    }
+    expectEnginesAgree(cfg, trace, "two ranks four channels");
+}
+
+TEST(Engine, AbClosedPageIdentical)
+{
+    const DramTiming t = timingPreset("DDR4_2400");
+    DramSystemConfig cfg = config();
+    cfg.pagePolicy = PagePolicy::Closed;
+    std::vector<TraceEntry> trace;
+    for (int i = 0; i < 128; ++i)
+        trace.push_back({static_cast<Cycle>(i) * 11,
+                         static_cast<Addr>(i) * t.burstBytes, false});
+    expectEnginesAgree(cfg, trace, "closed page");
+}
+
+TEST(Engine, AbOutOfOrderArrivalsIdentical)
+{
+    // Arrival times deliberately not monotone in enqueue order — the
+    // ordered-insert queue must give both engines the same earliest-
+    // first service order.
+    const DramTiming t = timingPreset("DDR4_2400");
+    std::vector<TraceEntry> trace;
+    for (int i = 0; i < 64; ++i) {
+        const Cycle arrival = static_cast<Cycle>((i * 37) % 64) * 50;
+        trace.push_back({arrival, static_cast<Addr>(i) * t.burstBytes,
+                         false});
+    }
+    expectEnginesAgree(config(), trace, "out-of-order arrivals");
+}
+
+TEST(Engine, AbCoupledRequestFlowIdentical)
+{
+    // The synchronous request() path (scratchpad flow) drains after
+    // each enqueue; both engines must return identical completions.
+    const DramTiming t = timingPreset("DDR4_2400");
+    auto run = [&](DramEngine eng) {
+        DramSystemConfig cfg = config();
+        cfg.engine = eng;
+        DramSystem sys(cfg);
+        std::vector<Cycle> done;
+        for (int i = 0; i < 96; ++i) {
+            const Addr addr = static_cast<Addr>((i * 131) % 1024)
+                * t.burstBytes;
+            done.push_back(sys.request(addr, 3 * t.burstBytes,
+                                       i % 5 == 0,
+                                       static_cast<Cycle>(i) * 20));
+        }
+        return std::make_pair(done, sys.totalStats());
     };
-    read(0, 1000); // lands in rank 0's first window: 1 refresh
-    read(1, 1500); // rank 1 catches up its own missed window: +1
-    read(0, 3500); // rank 0 catches up the 2000 and 3000 windows: +2
-    read(1, 3600); // rank 1 catches up the same two windows: +2
-    EXPECT_EQ(ch.stats().refreshes, 6u);
-    // Every access found its bank closed (first touch or refreshed).
-    EXPECT_EQ(ch.stats().rowMisses, 4u);
-    EXPECT_EQ(ch.stats().rowHits, 0u);
+    const auto [skip_done, skip_stats] = run(DramEngine::EventSkip);
+    const auto [step_done, step_stats] = run(DramEngine::Stepped);
+    EXPECT_EQ(skip_done, step_done);
+    expectStatsEqual(skip_stats, step_stats, "coupled flow");
+}
+
+TEST(Channel, NextEventCycleTracksEarliestArrival)
+{
+    const DramTiming t = timingPreset("DDR4_2400");
+    Channel ch(t, 1);
+    EXPECT_EQ(ch.nextEventCycle(), Channel::kNoEvent);
+    DecodedAddr a;
+    ch.enqueue(a, false, 5000);
+    EXPECT_EQ(ch.nextEventCycle(), 5000u);
+    // An earlier arrival enqueued later must surface at the front.
+    a.col = 1;
+    ch.enqueue(a, false, 200);
+    EXPECT_EQ(ch.nextEventCycle(), 200u);
+    ch.drainAll();
+    EXPECT_EQ(ch.nextEventCycle(), Channel::kNoEvent);
+}
+
+TEST(Channel, GappedArrivalsServiceEarliestFirst)
+{
+    // Regression for the pickNext fallback: when no pending request
+    // has arrived yet, the scheduler must jump to the earliest
+    // arrival — not whichever request happened to be enqueued first.
+    const DramTiming t = timingPreset("DDR4_2400");
+    Channel ch(t, 1);
+    DecodedAddr late; // same bank, row 1
+    late.row = 1;
+    DecodedAddr early; // same bank, row 0
+    const std::uint64_t late_seq = ch.enqueue(late, false, 9'000);
+    const std::uint64_t early_seq = ch.enqueue(early, false, 1'000);
+    const Cycle late_done = ch.serviceUntil(late_seq);
+    const Cycle early_done = ch.serviceUntil(early_seq);
+    EXPECT_LT(early_done, late_done);
+    // The early request opened the bank (miss); the late one then
+    // conflicted — service order row 0 before row 1.
+    EXPECT_EQ(ch.stats().rowMisses, 1u);
+    EXPECT_EQ(ch.stats().rowConflicts, 1u);
 }
 
 TEST(Refresh, AllPresetsHaveRefreshTiming)

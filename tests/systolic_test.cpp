@@ -440,6 +440,74 @@ TEST(TraceIo, OfmapAccumulateReadsAreEmitted)
     EXPECT_EQ(o2.str(), ofmap.str());
 }
 
+TEST(TraceIo, PatchFastPathMatchesPlainFormatting)
+{
+    // The writer's constant-delta patch path edits the previous row's
+    // digit text in place. Walk it through every edge — digit-count
+    // rollovers, long carry ripples, zero and oversized deltas,
+    // negative (descending) deltas, row-length changes, fields longer
+    // than the fixed-width copy — and demand byte-identity with plain
+    // per-value formatting.
+    std::ostringstream got;
+    SramTraceWriter writer(&got, nullptr, nullptr);
+    std::ostringstream want;
+    Cycle clk = 0;
+    auto row = [&](const std::vector<Addr>& addrs) {
+        writer.cycle(clk, addrs, {}, {}, {});
+        want << clk;
+        for (const Addr a : addrs)
+            want << ", " << a;
+        want << '\n';
+        ++clk;
+    };
+    auto run = [&](std::vector<Addr> addrs, std::int64_t delta,
+                   int rows) {
+        for (int i = 0; i < rows; ++i) {
+            row(addrs);
+            for (Addr& a : addrs)
+                a += static_cast<Addr>(delta);
+        }
+    };
+    run({100, 200, 300}, 1, 5);          // plain +1 patch run
+    run({995, 1995, 9995}, 1, 10);       // 999->1000, 9999->10000
+    run({999'999}, 1, 3);                // long carry ripple
+    run({99'999'998, 123}, 1, 4);        // ripple in field 0 only
+    run({500, 600}, 0, 3);               // zero delta (repeat rows)
+    run({10, 20, 30}, 512, 6);           // multi-digit delta
+    row({7, 8});                         // row length change: slow path
+    run({5'000, 4'000}, -250, 8);        // descending: slow path each
+    run({1'000}, 2'000'000'000, 3);      // above patch cap: slow path
+    row({3, 1, 4, 1, 5});                // non-constant spacing
+    row({4, 2, 5, 2, 6});                // +1 after irregular base
+    // Fields longer than the fixed-width copy window (20 digits).
+    run({10'000'000'000'000'000'000ull, 42}, 1, 5);
+    writer.flush();
+    EXPECT_EQ(got.str(), want.str());
+    EXPECT_GT(writer.rowsWritten(), 0u);
+}
+
+TEST(TraceIo, PatchStateSurvivesBufferFlushes)
+{
+    // A staging-buffer flush invalidates the previous row's text, so a
+    // long patched run must transparently re-prime and stay correct
+    // across many flush boundaries (64 KiB each).
+    std::ostringstream got;
+    SramTraceWriter writer(&got, nullptr, nullptr);
+    std::ostringstream want;
+    std::vector<Addr> addrs = {1'000, 2'000, 3'000, 4'000};
+    for (Cycle clk = 0; clk < 6'000; ++clk) {
+        writer.cycle(clk, addrs, {}, {}, {});
+        want << clk;
+        for (const Addr a : addrs)
+            want << ", " << a;
+        want << '\n';
+        for (Addr& a : addrs)
+            a += 3;
+    }
+    writer.flush();
+    EXPECT_EQ(got.str(), want.str());
+}
+
 TEST(TraceIo, TracingMemoryRecordsEverything)
 {
     BandwidthMemory inner(8.0);
