@@ -44,11 +44,16 @@ usage()
         "                    [--stats file] [--stats-json file]\n"
         "                    [--trace file] [--json file]\n"
         "                    [--no-fold-cache] [--audit]\n"
+        "                    [--interval N]\n"
         "                    [--multicore PRxPC] [--contention MODEL]\n"
         "  --no-fold-cache disable the fold-replay demand cache\n"
         "               (same outputs, slower trace mode)\n"
         "  --audit      audit cross-module conservation laws after\n"
         "               every layer; exit 2 on any violation\n"
+        "  --interval   sample the stats registry every N simulated\n"
+        "               cycles; writes INTERVAL_STATS.txt and\n"
+        "               INTERVAL_SERIES.{csv,json} into the output\n"
+        "               dir and adds counter tracks to --trace\n"
         "  --stats      gem5-format stats.txt dump\n"
         "  --stats-json machine-readable stats dump\n"
         "  --json       full run report as one JSON document\n"
@@ -80,6 +85,7 @@ main(int argc, char** argv)
     bool write_traces = false;
     bool fold_cache = true;
     bool audit = false;
+    std::string interval_arg;
     std::string multicore_grid;
     std::string contention_name = "shared";
     for (int i = 1; i < argc; ++i) {
@@ -113,6 +119,8 @@ main(int argc, char** argv)
             fold_cache = false;
         } else if (arg == "--audit") {
             audit = true;
+        } else if (arg == "--interval") {
+            interval_arg = next();
         } else if (arg == "--multicore") {
             multicore_grid = next();
         } else if (arg == "--contention") {
@@ -139,6 +147,14 @@ main(int argc, char** argv)
             cfg.foldCache = false;
         if (audit)
             cfg.audit = true;
+        if (!interval_arg.empty()) {
+            try {
+                cfg.intervalCycles = std::stoull(interval_arg);
+            } catch (const std::exception&) {
+                fatal("--interval expects a cycle count, got '%s'",
+                      interval_arg.c_str());
+            }
+        }
 
         if (!multicore_grid.empty()) {
             // Trace-level multi-core path: partition each layer over a
@@ -192,9 +208,13 @@ main(int argc, char** argv)
                     auditor.auditArbiter(res, mc.useL2, scope);
                     for (std::size_t c = 0; c < res.perCore.size();
                          ++c) {
-                        auditor.auditStallAccounting(
-                            res.perCore[c],
-                            scope + ".core" + std::to_string(c));
+                        const std::string core_scope = scope
+                            + ".core" + std::to_string(c);
+                        auditor.auditStallAccounting(res.perCore[c],
+                                                     core_scope);
+                        auditor.auditCpiStack(
+                            res.perCore[c].cpi,
+                            res.perCore[c].totalCycles, core_scope);
                     }
                 }
                 makespan += res.makespan;
@@ -242,9 +262,9 @@ main(int argc, char** argv)
                 dump_to(stats_json_path,
                         &obs::StatsRegistry::dumpJson);
             if (!json_path.empty() || !trace_path.empty()
-                || write_traces) {
-                warn("--json/--trace/-s are single-core outputs; "
-                     "ignored with --multicore");
+                || write_traces || cfg.intervalCycles > 0) {
+                warn("--json/--trace/-s/--interval are single-core "
+                     "outputs; ignored with --multicore");
             }
             return audit && !auditor.report().clean() ? 2 : 0;
         }
@@ -293,6 +313,23 @@ main(int argc, char** argv)
             write_to(json_path, &core::RunResult::writeJson);
         if (!trace_path.empty())
             write_to(trace_path, &core::RunResult::writeChromeTrace);
+
+        if (!run.intervals.empty()) {
+            auto write_series = [&](const char* name, auto method) {
+                const std::string path = out_dir + "/" + name;
+                std::ofstream out(path);
+                if (!out)
+                    fatal("cannot write %s", path.c_str());
+                (run.intervals.*method)(out);
+                inform("wrote %s", path.c_str());
+            };
+            write_series("INTERVAL_STATS.txt",
+                         &obs::IntervalSeries::writeStatsText);
+            write_series("INTERVAL_SERIES.csv",
+                         &obs::IntervalSeries::writeCsv);
+            write_series("INTERVAL_SERIES.json",
+                         &obs::IntervalSeries::writeJson);
+        }
 
         if (write_traces) {
             // Cycle-accurate SRAM traces from one demand pass per

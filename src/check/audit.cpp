@@ -51,6 +51,9 @@ lawTable()
          "L1 fill words == L2 hit + miss words"},
         {"run.totalsAccounting",
          "run totals equal the repetition-weighted per-layer sums"},
+        {"cpi.conservation",
+         "CPI-stack buckets partition wall-clock time: per-cause "
+         "cycle buckets sum exactly to totalCycles"},
     };
     return laws;
 }
@@ -246,6 +249,26 @@ InvariantAuditor::auditStallAccounting(
            " + stallCycles %" PRIu64,
            timing.totalCycles, timing.computeCycles,
            timing.stallCycles);
+}
+
+void
+InvariantAuditor::auditCpiStack(const obs::CpiStack& cpi,
+                                Cycle total_cycles,
+                                std::string_view scope)
+{
+    const char* law = "cpi.conservation";
+    const std::uint64_t sum = cpi.total();
+    std::string buckets;
+    for (unsigned i = 0; i < obs::CpiStack::kBucketCount; ++i) {
+        if (!buckets.empty())
+            buckets += " + ";
+        buckets += format("%s %" PRIu64, obs::CpiStack::bucketName(i),
+                          cpi.bucketValue(i));
+    }
+    verify(sum == total_cycles, law, scope,
+           "CPI buckets (%s) sum to %" PRIu64
+           " != totalCycles %" PRIu64,
+           buckets.c_str(), sum, total_cycles);
 }
 
 void

@@ -45,6 +45,10 @@
  *                            fill words equal L2 hit + miss words
  *   run.totalsAccounting     run totals equal the repetition-weighted
  *                            sum of per-layer results
+ *   cpi.conservation         CPI-stack buckets partition wall-clock
+ *                            time: the per-cause cycle buckets sum
+ *                            exactly to totalCycles for every layer,
+ *                            every core, and the whole run
  */
 
 #ifndef SCALESIM_CHECK_AUDIT_HH
@@ -60,6 +64,7 @@
 #include "dram/system.hpp"
 #include "energy/action_counts.hpp"
 #include "multicore/trace_sim.hpp"
+#include "obs/cpi.hpp"
 #include "obs/stats.hpp"
 #include "systolic/demand.hpp"
 #include "systolic/scratchpad.hpp"
@@ -202,6 +207,14 @@ class InvariantAuditor
     /** mc.arbConservation over one multi-core layer result. */
     void auditArbiter(const multicore::MultiCoreTraceResult& result,
                       bool l2_enabled, std::string_view scope);
+
+    /**
+     * cpi.conservation: the stack's buckets must sum exactly to
+     * `total_cycles` (one-cycle-one-bucket; no cycle lost or double
+     * counted).
+     */
+    void auditCpiStack(const obs::CpiStack& cpi, Cycle total_cycles,
+                       std::string_view scope);
 
     /**
      * run.totalsAccounting: `run_*` totals vs the repetition-weighted

@@ -250,6 +250,8 @@ SimConfig::fromIni(const IniFile& ini)
     cfg.mode = canonical(mode) == "analytical" ? SimMode::Analytical
                                                : SimMode::Trace;
     cfg.audit = ini.getBool("general", "Audit", cfg.audit);
+    cfg.intervalCycles = ini.getUint("general", "IntervalCycles",
+                                     cfg.intervalCycles);
 
     cfg.memory.ifmapSramKb = ini.getUint(
         "architecture", "IfmapSramSzkB", cfg.memory.ifmapSramKb);

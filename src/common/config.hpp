@@ -227,6 +227,14 @@ struct SimConfig
      */
     bool audit = false;
 
+    /**
+     * Emit a time-series stats snapshot every N simulated cycles
+     * (RunResult::intervals; gem5-style repeated stats sections, CSV/
+     * JSON series, Perfetto counter tracks). 0 disables sampling.
+     * `--interval N` on the CLI, `IntervalCycles` in [general].
+     */
+    std::uint64_t intervalCycles = 0;
+
     /** Vector/SIMD unit next to the array (§III-C). */
     std::uint32_t simdLanes = 16;
     /** Cycles per vector instruction (customizable latency). */

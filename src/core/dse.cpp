@@ -59,6 +59,7 @@ runSweepDetailed(const DseSweep& sweep, const Topology& topology)
         // no shared state, and identical output for every jobs value.
         points[i].point = point;
         points[i].stats = std::move(run.stats);
+        points[i].intervals = std::move(run.intervals);
     });
     return points;
 }

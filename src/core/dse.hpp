@@ -69,6 +69,13 @@ struct DseDetailedPoint
     DsePoint point;
     /** The point's RunResult stats (sim.*, spad.*, dram.*, ...). */
     obs::StatsRegistry stats;
+    /**
+     * The point's interval time-series (empty unless the sweep's base
+     * config sets intervalCycles). Stored by candidate index like
+     * `stats`, so serialized series are byte-identical for every jobs
+     * value.
+     */
+    obs::IntervalSeries intervals;
 };
 
 /** Evaluate every point of the sweep on a workload. */

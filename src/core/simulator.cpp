@@ -195,6 +195,14 @@ Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
             simd, layer.tail, result.denseGemm.m * result.denseGemm.n);
         result.totalCycles += result.simdCycles;
     }
+    // Finalize the layer's CPI stack: the scratchpad attributed every
+    // matrix-phase cycle; the serialized vector tail is its own
+    // bucket, keeping cpi.total() == totalCycles.
+    result.cpi = result.timing.cpi;
+    result.cpi.vectorUnit = result.simdCycles;
+    if (auditor_)
+        auditor_->auditCpiStack(result.cpi, result.totalCycles,
+                                result.name);
     timeline_ += result.timing.totalCycles
         * std::max<std::uint32_t>(1, layer.repetitions);
 
@@ -262,6 +270,30 @@ Simulator::run(const Topology& topology)
     run.workload = topology.name;
     run.layers.reserve(topology.layers.size());
 
+    // Periodic registry snapshots along the simulated timeline. The
+    // snapshot combines the run-level partial totals with the
+    // cumulative component state, under the same names the final
+    // registry uses, so time-series columns line up with stats.json.
+    obs::IntervalSampler sampler(cfg_.intervalCycles);
+    auto snapshot = [&](obs::StatsRegistry& snap) {
+        snap.addScalar("sim.totalCycles",
+                       "wall-clock cycles incl. stalls",
+                       static_cast<double>(run.totalCycles));
+        snap.addScalar("sim.computeCycles", "ideal compute cycles",
+                       static_cast<double>(run.computeCycles));
+        snap.addScalar("sim.stallCycles", "memory stall cycles",
+                       static_cast<double>(run.stallCycles));
+        snap.addScalar("sim.dramReadWords", "main-memory words read",
+                       static_cast<double>(run.dramReadWords));
+        snap.addScalar("sim.dramWriteWords",
+                       "main-memory words written",
+                       static_cast<double>(run.dramWriteWords));
+        run.cpiTotals.registerStats(
+            snap, "sim.cpistack",
+            "per-cause cycle attribution (sums to totalCycles)");
+        registerStats(snap);
+    };
+
     for (std::size_t i = 0; i < topology.layers.size(); ++i) {
         LayerResult layer = runLayer(topology.layers[i], i);
         const std::uint64_t reps = layer.repetitions;
@@ -270,6 +302,7 @@ Simulator::run(const Topology& topology)
         run.stallCycles += layer.stallCycles * reps;
         run.dramReadWords += layer.timing.dramReadWords * reps;
         run.dramWriteWords += layer.timing.dramWriteWords * reps;
+        run.cpiTotals.accumulate(layer.cpi, reps);
         if (cfg_.energy.enabled) {
             energy::EnergyBreakdown scaled = layer.energyBreakdown;
             scaled.peArray *= static_cast<double>(reps);
@@ -286,6 +319,17 @@ Simulator::run(const Topology& topology)
             }
         }
         run.layers.push_back(std::move(layer));
+        if (sampler.enabled()) {
+            obs::StatsRegistry snap;
+            snapshot(snap);
+            sampler.sample(timeline_, snap);
+        }
+    }
+    if (sampler.enabled()) {
+        obs::StatsRegistry snap;
+        snapshot(snap);
+        sampler.finish(timeline_, snap);
+        run.intervals = sampler.takeSeries();
     }
     if (cfg_.energy.enabled && energyModel_) {
         run.avgPowerW = energyModel_->averagePowerW(run.totalEnergy,
@@ -314,6 +358,7 @@ Simulator::run(const Topology& topology)
                                  run.dramWriteWords, sum_total,
                                  sum_compute, sum_stall, sum_read,
                                  sum_write, "run");
+        auditor_->auditCpiStack(run.cpiTotals, run.totalCycles, "run");
         auditor_->auditFoldCacheConservation(foldCacheStats_, "run");
         auditor_->auditMemoryTraffic(scratchpad_->totals(),
                                      memory_->stats(), "run");
@@ -570,6 +615,9 @@ RunResult::registerStats(obs::StatsRegistry& reg) const
     stall_frac.numerator = {{"sim.stallCycles", 1.0}};
     stall_frac.denominator = {{"sim.totalCycles", 1.0}};
     reg.addFormula("sim.stallFraction", "stalls / total", stall_frac);
+    cpiTotals.registerStats(
+        reg, "sim.cpistack",
+        "per-cause cycle attribution (sums to totalCycles)");
 
     if (audited)
         audit.registerStats(reg);
@@ -665,6 +713,16 @@ writeTimingJson(obs::JsonWriter& json, const systolic::LayerTiming& t)
 }
 
 void
+writeCpiJson(obs::JsonWriter& json, const obs::CpiStack& cpi)
+{
+    json.beginObject();
+    for (unsigned i = 0; i < obs::CpiStack::kBucketCount; ++i)
+        json.field(obs::CpiStack::bucketName(i), cpi.bucketValue(i));
+    json.field("total", cpi.total());
+    json.endObject();
+}
+
+void
 writeEnergyJson(obs::JsonWriter& json,
                 const energy::EnergyBreakdown& e)
 {
@@ -697,6 +755,8 @@ RunResult::writeJson(std::ostream& out) const
                    / static_cast<double>(totalCycles) : 0.0);
     json.field("dramReadWords", dramReadWords);
     json.field("dramWriteWords", dramWriteWords);
+    json.key("cpiStack");
+    writeCpiJson(json, cpiTotals);
     json.endObject();
 
     const bool dram_active = dramStats.reads + dramStats.writes > 0;
@@ -763,6 +823,8 @@ RunResult::writeJson(std::ostream& out) const
         json.field("speedup", l.speedup);
         json.field("mappingEfficiency", l.mappingEfficiency);
         json.field("layoutSlowdown", l.layoutSlowdown);
+        json.key("cpiStack");
+        writeCpiJson(json, l.cpi);
         json.key("timing");
         writeTimingJson(json, l.timing);
         if (l.sparse) {
@@ -872,6 +934,18 @@ RunResult::writeChromeTrace(std::ostream& out) const
     trace.addCounter(0, "utilization", now, "util", 0.0);
     if (avgPowerW > 0.0)
         trace.addCounter(0, "power_W", now, "power", 0.0);
+    if (!intervals.empty()) {
+        // Per-interval deltas as Perfetto counter tracks: the CPI
+        // stack (where did this window's cycles go), main-memory
+        // traffic, and DRAM activity (row outcomes, queue occupancy
+        // samples) when the detailed model ran.
+        intervals.toCounterTracks(trace, 0, "sim.cpistack", "cpistack");
+        intervals.toCounterTracks(trace, 0, "mem", "mem");
+        intervals.toCounterTracks(trace, 0, "dram.reads", "dram");
+        intervals.toCounterTracks(trace, 0, "dram.rowHits", "dram");
+        intervals.toCounterTracks(trace, 0, "dram.rowConflicts",
+                                  "dram");
+    }
     trace.write(out);
 }
 

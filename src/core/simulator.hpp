@@ -23,6 +23,8 @@
 #include "energy/action_counts.hpp"
 #include "energy/model.hpp"
 #include "layout/layout.hpp"
+#include "obs/cpi.hpp"
+#include "obs/interval.hpp"
 #include "obs/stats.hpp"
 #include "sparse/model.hpp"
 #include "systolic/scratchpad.hpp"
@@ -52,6 +54,13 @@ struct LayerResult
     double mappingEfficiency = 0.0;
     double layoutSlowdown = 1.0;
 
+    /**
+     * CPI stack of one instance: timing.cpi plus the vector-unit tail
+     * bucket, so cpi.total() == totalCycles (which includes
+     * simdCycles). Audited as `cpi.conservation`.
+     */
+    obs::CpiStack cpi;
+
     systolic::LayerTiming timing;
     std::optional<sparse::SparseLayerReport> sparse;
     energy::ActionCounts actions;
@@ -80,6 +89,21 @@ struct RunResult
     double edp = 0.0;
     /** Detailed DRAM stats (meaningful when the DRAM model ran). */
     dram::DramStats dramStats;
+
+    /**
+     * Run-level CPI stack: repetition-weighted sum of the per-layer
+     * stacks; cpiTotals.total() == totalCycles. `sim.cpistack` in the
+     * stats output.
+     */
+    obs::CpiStack cpiTotals;
+
+    /**
+     * Periodic stats snapshots (deltas every SimConfig::intervalCycles
+     * cycles of the simulated timeline; empty when disabled). Write
+     * with intervals.writeStatsText/writeCsv/writeJson; Chrome traces
+     * get them as counter tracks automatically.
+     */
+    obs::IntervalSeries intervals;
 
     /**
      * Instantaneous power profile (paper Table I: "Instantaneous +

@@ -21,6 +21,9 @@ DramStats::merge(const DramStats& other)
     readBytes += other.readBytes;
     writeBytes += other.writeBytes;
     totalReadLatency += other.totalReadLatency;
+    readQueueWait += other.readQueueWait;
+    readRefreshWait += other.readRefreshWait;
+    readServiceTime += other.readServiceTime;
     firstArrival = std::min(firstArrival, other.firstArrival);
     lastCompletion = std::max(lastCompletion, other.lastCompletion);
 }
@@ -134,6 +137,11 @@ Channel::serviceOne(const Pending& req)
     const std::size_t gbank = req.gbank;
     Bank& bank = banks_[gbank];
     Cycle dt = std::max(req.arrival, lastColCmd_);
+    // Queue wait ends when the controller turns to this request; the
+    // refresh block below may push `dt` further (refresh wait), and
+    // whatever remains until data_end is service. The three components
+    // sum to (data_end - arrival) exactly — the CPI-stack contract.
+    const Cycle queue_done = dt;
 
     // All-bank refresh, per rank: every tREFI the rank precharges and
     // refreshes for tRFC; requests to it during the window wait, and
@@ -188,6 +196,7 @@ Channel::serviceOne(const Pending& req)
             dt = end;
         }
     }
+    const Cycle refresh_done = dt;
 
     Cycle col_ready;
     RowOutcome outcome;
@@ -284,6 +293,20 @@ Channel::serviceOne(const Pending& req)
         stats_.readBytes += timing_.burstBytes;
         completion = data_end;
         stats_.totalReadLatency += data_end - req.arrival;
+        const Cycle queue_wait = queue_done - req.arrival;
+        const Cycle refresh_wait = refresh_done - queue_done;
+        const Cycle service = data_end - refresh_done;
+        stats_.readQueueWait += queue_wait;
+        stats_.readRefreshWait += refresh_wait;
+        stats_.readServiceTime += service;
+        readLatency_.sample(static_cast<double>(data_end
+                                                - req.arrival));
+        readQueueWaitHist_.sample(static_cast<double>(queue_wait));
+        readServiceHist_.sample(
+            static_cast<double>(refresh_wait + service));
+        SIM_CHECK_EQ(queue_wait + refresh_wait + service,
+                     data_end - req.arrival,
+                     "read latency components are conserved");
     }
     stats_.lastCompletion = std::max(stats_.lastCompletion, data_end);
     SIM_CHECK_EQ(stats_.rowHits + stats_.rowMisses
@@ -369,6 +392,17 @@ Channel::registerStats(obs::StatsRegistry& reg,
     reg.addScalar(name("totalReadLatency"),
                   "sum of read round-trip latencies (memory clocks)",
                   static_cast<double>(stats_.totalReadLatency));
+    reg.addScalar(name("readQueueWait"),
+                  "read latency spent queued (memory clocks)",
+                  static_cast<double>(stats_.readQueueWait));
+    reg.addScalar(name("readRefreshWait"),
+                  "read latency spent waiting out refresh "
+                  "(memory clocks)",
+                  static_cast<double>(stats_.readRefreshWait));
+    reg.addScalar(name("readServiceTime"),
+                  "read latency spent in bank access + transfer "
+                  "(memory clocks)",
+                  static_cast<double>(stats_.readServiceTime));
     reg.addScalar(name("busBusyCycles"),
                   "memory clocks the data bus carried bursts",
                   static_cast<double>(busBusyCycles_));
@@ -395,6 +429,17 @@ Channel::registerStats(obs::StatsRegistry& reg,
     reg.addDistribution(name("queueOccupancy"),
                         "request-queue depth at enqueue",
                         queueOccupancy_);
+    reg.addDistribution(name("readLatency"),
+                        "per-read round-trip latency (memory clocks)",
+                        readLatency_);
+    reg.addDistribution(name("readLatency.queueWait"),
+                        "per-read queue-wait component "
+                        "(memory clocks)",
+                        readQueueWaitHist_);
+    reg.addDistribution(name("readLatency.service"),
+                        "per-read service component, refresh included "
+                        "(memory clocks)",
+                        readServiceHist_);
     reg.addFormula(name("rowHitRate"),
                    "rowHits / (rowHits + rowMisses + rowConflicts)",
                    {{{name("rowHits"), 1.0}},

@@ -89,6 +89,18 @@ struct DramStats
     std::uint64_t writeBytes = 0;
     /** Sum over reads of (data completion - arrival), memory clocks. */
     Cycle totalReadLatency = 0;
+    /**
+     * Exact component split of totalReadLatency (memory clocks):
+     * readQueueWait (arrival until the controller turns to the
+     * request) + readRefreshWait (waiting out an in-progress refresh
+     * window) + readServiceTime (bank access + bus transfer) sum to
+     * totalReadLatency for every read. Catch-up refreshes that closed
+     * rows long before the request arrived surface as service time
+     * (their cost is the row miss they cause), not refresh wait.
+     */
+    Cycle readQueueWait = 0;
+    Cycle readRefreshWait = 0;
+    Cycle readServiceTime = 0;
     Cycle firstArrival = ~static_cast<Cycle>(0);
     Cycle lastCompletion = 0;
 
@@ -179,6 +191,21 @@ class Channel
         return queueOccupancy_;
     }
 
+    /** Per-read round-trip latency distribution (memory clocks). */
+    const obs::Histogram& readLatency() const { return readLatency_; }
+
+    /** Per-read queue-wait component distribution (memory clocks). */
+    const obs::Histogram& readQueueWait() const
+    {
+        return readQueueWaitHist_;
+    }
+
+    /** Per-read service component (refresh wait included) dist. */
+    const obs::Histogram& readService() const
+    {
+        return readServiceHist_;
+    }
+
     /** Memory clocks the shared data bus spent transferring bursts. */
     Cycle busBusyCycles() const { return busBusyCycles_; }
 
@@ -228,6 +255,9 @@ class Channel
     DramStats stats_;
     std::vector<BankStats> bankStats_;
     obs::Histogram queueOccupancy_;
+    obs::Histogram readLatency_;
+    obs::Histogram readQueueWaitHist_;
+    obs::Histogram readServiceHist_;
     Cycle busBusyCycles_ = 0;
 
     Cycle busFree_ = 0;

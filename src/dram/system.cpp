@@ -236,6 +236,17 @@ DramSystem::registerStats(obs::StatsRegistry& reg,
     reg.addScalar(name("totalReadLatency"),
                   "summed read latency (memory clocks, all channels)",
                   static_cast<double>(total.totalReadLatency));
+    reg.addScalar(name("readQueueWait"),
+                  "read latency queued (memory clocks, all channels)",
+                  static_cast<double>(total.readQueueWait));
+    reg.addScalar(name("readRefreshWait"),
+                  "read latency in refresh shadow (memory clocks, "
+                  "all channels)",
+                  static_cast<double>(total.readRefreshWait));
+    reg.addScalar(name("readServiceTime"),
+                  "read latency in bank access + transfer (memory "
+                  "clocks, all channels)",
+                  static_cast<double>(total.readServiceTime));
     reg.addFormula(name("rowHitRate"),
                    "rowHits / (rowHits + rowMisses + rowConflicts)",
                    {{{name("rowHits"), 1.0}},
@@ -284,12 +295,24 @@ DramMemory::toCore(Cycle mem) const
 Cycle
 DramMemory::issueRead(Addr addr, Count words, Cycle now)
 {
+    // In the coupled flow each channel queue holds only this request's
+    // bursts, so the delta of the system-wide component sums across
+    // the call is exactly this request's decomposition. The components
+    // stay in memory clocks: the CPI-stack layer uses them as
+    // apportionment weights, where only the ratios matter.
+    const DramStats before = system_.totalStats();
     const Cycle done_mem = system_.request(
         addr * wordBytes_, words * wordBytes_, false, toMem(now));
     const Cycle done = std::max(now + 1, toCore(done_mem));
+    const DramStats after = system_.totalStats();
     ++stats_.readRequests;
     stats_.readWords += words;
     stats_.totalReadLatency += done - now;
+    stats_.readQueueWait += after.readQueueWait - before.readQueueWait;
+    stats_.readRefresh +=
+        after.readRefreshWait - before.readRefreshWait;
+    stats_.readService +=
+        after.readServiceTime - before.readServiceTime;
     return done;
 }
 

@@ -54,13 +54,27 @@ RoundRobinArbiter::grant(const std::vector<Cycle>& next, Cycle none)
 Cycle
 MemoryPort::issueRead(Addr addr, Count words, Cycle now)
 {
+    // Delta-capture the shared model's latency components across the
+    // call: the co-simulation scheduler runs one transaction at a
+    // time, so the delta belongs entirely to this request. The issue
+    // wait at the shared serialization point is reclassified from
+    // queue wait to port wait — that is the cross-core contention the
+    // CPI stack surfaces as l2Wait.
+    const systolic::MemoryStats before = shared_.stats();
     const Cycle done = shared_.issueRead(addr, words, now);
+    const systolic::MemoryStats after = shared_.stats();
+    const Cycle wait = shared_.lastIssueWait();
+    const Cycle queue_delta = after.readQueueWait - before.readQueueWait;
     ++portStats_.readRequests;
     portStats_.readWords += words;
-    portStats_.waitCycles += shared_.lastIssueWait();
+    portStats_.waitCycles += wait;
     ++stats_.readRequests;
     stats_.readWords += words;
     stats_.totalReadLatency += done - now;
+    stats_.readPortWait += wait;
+    stats_.readQueueWait += queue_delta > wait ? queue_delta - wait : 0;
+    stats_.readRefresh += after.readRefresh - before.readRefresh;
+    stats_.readService += after.readService - before.readService;
     return done;
 }
 

@@ -355,6 +355,9 @@ MultiCoreTraceResult::registerStats(obs::StatsRegistry& reg,
                       static_cast<double>(t.computeCycles));
         reg.addScalar(core + ".stallCycles", "core stall cycles",
                       static_cast<double>(t.stallCycles));
+        t.cpi.registerStats(reg, core + ".cpistack",
+                            "per-cause cycle attribution (sums to "
+                            "totalCycles)");
         if (i < ports.size()) {
             reg.addScalar(core + ".stallOnL2",
                           "cycles this core's requests spent queued "

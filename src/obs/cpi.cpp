@@ -1,0 +1,76 @@
+#include "obs/cpi.hpp"
+
+#include "common/log.hpp"
+#include "obs/stats.hpp"
+
+namespace scalesim::obs
+{
+
+const char*
+CpiStack::bucketName(unsigned i)
+{
+    switch (i) {
+      case 0: return "compute";
+      case 1: return "vector";
+      case 2: return "drain";
+      case 3: return "bandwidth";
+      case 4: return "prefetchMiss";
+      case 5: return "l2Wait";
+      case 6: return "dramQueue";
+      case 7: return "dramService";
+      case 8: return "refresh";
+    }
+    panic("CpiStack bucket index %u out of range", i);
+}
+
+std::uint64_t
+CpiStack::bucketValue(unsigned i) const
+{
+    switch (i) {
+      case 0: return compute;
+      case 1: return vectorUnit;
+      case 2: return drain;
+      case 3: return bandwidth;
+      case 4: return prefetchMiss;
+      case 5: return l2Wait;
+      case 6: return dramQueue;
+      case 7: return dramService;
+      case 8: return refresh;
+    }
+    panic("CpiStack bucket index %u out of range", i);
+}
+
+std::uint64_t
+CpiStack::total() const
+{
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < kBucketCount; ++i)
+        sum += bucketValue(i);
+    return sum;
+}
+
+void
+CpiStack::accumulate(const CpiStack& other, std::uint64_t reps)
+{
+    compute += other.compute * reps;
+    vectorUnit += other.vectorUnit * reps;
+    drain += other.drain * reps;
+    bandwidth += other.bandwidth * reps;
+    prefetchMiss += other.prefetchMiss * reps;
+    l2Wait += other.l2Wait * reps;
+    dramQueue += other.dramQueue * reps;
+    dramService += other.dramService * reps;
+    refresh += other.refresh * reps;
+}
+
+void
+CpiStack::registerStats(StatsRegistry& reg, std::string_view name,
+                        std::string_view desc) const
+{
+    for (unsigned i = 0; i < kBucketCount; ++i) {
+        reg.addVectorElem(name, bucketName(i), desc,
+                          static_cast<double>(bucketValue(i)));
+    }
+}
+
+} // namespace scalesim::obs

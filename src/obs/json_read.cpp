@@ -1,0 +1,280 @@
+#include "obs/json_read.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace scalesim::obs
+{
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    const auto it = members.find(key);
+    return it == members.end() ? nullptr : &it->second;
+}
+
+const JsonValue*
+JsonValue::findPath(const std::string& path) const
+{
+    const JsonValue* node = this;
+    std::size_t start = 0;
+    while (node && start <= path.size()) {
+        const std::size_t dot = path.find('.', start);
+        const std::string key =
+            path.substr(start, dot == std::string::npos
+                                   ? std::string::npos
+                                   : dot - start);
+        node = node->find(key);
+        if (dot == std::string::npos)
+            break;
+        start = dot + 1;
+    }
+    return node;
+}
+
+double
+JsonValue::numberAt(const std::string& key, double fallback) const
+{
+    const JsonValue* v = find(key);
+    return v && v->kind == Kind::Number ? v->number : fallback;
+}
+
+std::string
+JsonValue::stringAt(const std::string& key,
+                    const std::string& fallback) const
+{
+    const JsonValue* v = find(key);
+    return v && v->kind == Kind::String ? v->text : fallback;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    bool
+    parse(JsonValue& out)
+    {
+        pos_ = 0;
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()
+               && std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseString(std::string& out)
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return false;
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return false;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                      for (int i = 0; i < 4; ++i) {
+                          if (pos_ >= text_.size()
+                              || !std::isxdigit(static_cast<unsigned char>(
+                                     text_[pos_])))
+                              return false;
+                          ++pos_;
+                      }
+                      out += '?'; // placeholder; consumers don't need it
+                      break;
+                  }
+                  default: return false;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return false; // raw control characters are invalid
+            } else {
+                out += c;
+            }
+        }
+        return false;
+    }
+
+    bool
+    parseNumber(JsonValue& out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size()
+            || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            return false;
+        while (pos_ < text_.size()
+               && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size()
+                || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return false;
+            while (pos_ < text_.size()
+                   && std::isdigit(static_cast<unsigned char>(
+                          text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size()
+            && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size()
+                && (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size()
+                || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return false;
+            while (pos_ < text_.size()
+                   && std::isdigit(static_cast<unsigned char>(
+                          text_[pos_])))
+                ++pos_;
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                                 nullptr);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue& out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                std::string key;
+                if (!parseString(key) || !consume(':'))
+                    return false;
+                JsonValue member;
+                if (!parseValue(member))
+                    return false;
+                out.members[key] = std::move(member);
+                if (consume('}'))
+                    return true;
+                if (!consume(','))
+                    return false;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            while (true) {
+                JsonValue item;
+                if (!parseValue(item))
+                    return false;
+                out.items.push_back(std::move(item));
+                if (consume(']'))
+                    return true;
+                if (!consume(','))
+                    return false;
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.text);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        }
+        return parseNumber(out);
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string& text, JsonValue& out)
+{
+    return Parser(text).parse(out);
+}
+
+bool
+parseJsonFile(const std::string& path, JsonValue& out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return parseJson(buffer.str(), out);
+}
+
+} // namespace scalesim::obs

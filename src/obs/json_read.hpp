@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser with a small DOM, the reading
+ * counterpart of JsonWriter. It exists so in-tree tools (trace_report)
+ * and tests can consume the simulator's own machine-readable outputs
+ * without external dependencies — it is not a general-purpose parser
+ * (\uXXXX escapes decode to a placeholder, numbers are doubles).
+ */
+
+#ifndef SCALESIM_OBS_JSON_READ_HH
+#define SCALESIM_OBS_JSON_READ_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scalesim::obs
+{
+
+/** One parsed JSON value; containers own their children by value. */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> members;
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const JsonValue* find(const std::string& key) const;
+
+    /** `find` chained through a dotted path ("totals.cycles"). */
+    const JsonValue* findPath(const std::string& path) const;
+
+    /** Member's number value, or `fallback` when absent/non-numeric. */
+    double numberAt(const std::string& key, double fallback = 0.0) const;
+
+    /** Member's string value, or `fallback` when absent/non-string. */
+    std::string stringAt(const std::string& key,
+                         const std::string& fallback = {}) const;
+};
+
+/** Parse a whole document; false on any syntax error. */
+bool parseJson(const std::string& text, JsonValue& out);
+
+/** Load and parse a file; false on unreadable file or bad JSON. */
+bool parseJsonFile(const std::string& path, JsonValue& out);
+
+} // namespace scalesim::obs
+
+#endif // SCALESIM_OBS_JSON_READ_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <ostream>
 
+#include "check/contract.hpp"
 #include "common/log.hpp"
 #include "obs/json.hpp"
 
@@ -13,6 +14,11 @@ namespace scalesim::obs
 void
 Histogram::sample(double value)
 {
+    // The bucket layout only covers [0, inf); a negative sample is a
+    // caller bug (cycle counts and latencies cannot go backwards).
+    SIM_CHECK_LE(0.0, value, "negative histogram sample");
+    if (value < 0.0)
+        value = 0.0;
     if (count == 0) {
         minSample = maxSample = value;
     } else {
@@ -68,6 +74,39 @@ Histogram::bucketRange(unsigned i)
         return {0.0, 1.0};
     return {std::ldexp(1.0, static_cast<int>(i) - 1),
             std::ldexp(1.0, static_cast<int>(i))};
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return minSample;
+    if (q >= 1.0)
+        return maxSample;
+    // Rank of the requested quantile within the cumulative counts.
+    const double target = q * static_cast<double>(count);
+    double cum = 0.0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        if (buckets[i] == 0)
+            continue;
+        const double in_bucket = static_cast<double>(buckets[i]);
+        if (cum + in_bucket >= target) {
+            auto [lo, hi] = bucketRange(i);
+            // The observed envelope is tighter than the power-of-two
+            // bucket bounds (the overflow bucket has no upper bound at
+            // all), so clamp before interpolating.
+            lo = std::max(lo, minSample);
+            hi = std::min(hi, maxSample);
+            if (hi <= lo)
+                return lo;
+            const double frac = (target - cum) / in_bucket;
+            return lo + frac * (hi - lo);
+        }
+        cum += in_bucket;
+    }
+    return maxSample;
 }
 
 void
@@ -264,6 +303,12 @@ StatsRegistry::dump(std::ostream& out) const
             statLine(out, name + "::stdev", hist->stdev(), entry.desc);
             statLine(out, name + "::min", hist->minSample, entry.desc);
             statLine(out, name + "::max", hist->maxSample, entry.desc);
+            statLine(out, name + "::p50", hist->quantile(0.50),
+                     entry.desc);
+            statLine(out, name + "::p90", hist->quantile(0.90),
+                     entry.desc);
+            statLine(out, name + "::p99", hist->quantile(0.99),
+                     entry.desc);
             for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
                 if (hist->buckets[i] == 0)
                     continue;
@@ -281,6 +326,31 @@ StatsRegistry::dump(std::ostream& out) const
         }
     }
     out << "---------- End Simulation Statistics   ----------\n";
+}
+
+std::vector<std::pair<std::string, double>>
+StatsRegistry::flatten() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(stats_.size());
+    for (const auto& [name, entry] : stats_) {
+        const auto& data = entry.data;
+        if (const auto* scalar = std::get_if<double>(&data)) {
+            out.emplace_back(name, *scalar);
+        } else if (const auto* vec = std::get_if<VectorData>(&data)) {
+            for (const auto& [elem, value] : vec->elems)
+                out.emplace_back(name + "::" + elem, value);
+        } else if (const auto* hist = std::get_if<Histogram>(&data)) {
+            out.emplace_back(name + "::samples",
+                             static_cast<double>(hist->count));
+            out.emplace_back(name + "::sum", hist->sum);
+        }
+        // Formulas are derived ratios: deltas of them are meaningless.
+    }
+    // stats_ is name-sorted but vector elements follow registration
+    // order; sort the flat view so snapshots align positionally.
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 void
@@ -311,6 +381,9 @@ StatsRegistry::dumpJson(std::ostream& out) const
             json.field("stdev", hist->stdev());
             json.field("min", hist->minSample);
             json.field("max", hist->maxSample);
+            json.field("p50", hist->quantile(0.50));
+            json.field("p90", hist->quantile(0.90));
+            json.field("p99", hist->quantile(0.99));
             json.key("buckets").beginArray();
             for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
                 if (hist->buckets[i] == 0)

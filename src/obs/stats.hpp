@@ -29,9 +29,12 @@ namespace scalesim::obs
 
 /**
  * Power-of-two-bucketed sample accumulator backing Distribution stats.
- * Bucket 0 counts zero-valued samples; bucket i (i >= 1) counts
- * samples in [2^(i-1), 2^i); the last bucket is the overflow. Cheap
- * enough to live inside hot components (one clz + increment).
+ * Samples must be non-negative (enforced by a SIM_CHECK contract;
+ * negative values are clamped to 0 when contracts are compiled out).
+ * Bucket 0 counts samples in [0, 1) — not just exact zeros — and
+ * bucket i (i >= 1) counts samples in [2^(i-1), 2^i); the last bucket
+ * is the overflow. Cheap enough to live inside hot components (one
+ * clz + increment).
  */
 struct Histogram
 {
@@ -49,6 +52,15 @@ struct Histogram
 
     double mean() const { return count ? sum / count : 0.0; }
     double stdev() const;
+
+    /**
+     * Bucket-interpolated quantile estimate for q in [0, 1]: walks the
+     * cumulative bucket counts and interpolates linearly inside the
+     * bucket containing the target rank, clamped to the observed
+     * [minSample, maxSample] envelope. Exact when a bucket holds one
+     * distinct value; a power-of-two-bounded estimate otherwise.
+     */
+    double quantile(double q) const;
 
     /** Inclusive-exclusive [lo, hi) value range of bucket `i`. */
     static std::pair<double, double> bucketRange(unsigned i);
@@ -113,6 +125,15 @@ class StatsRegistry
 
     /** Machine-readable dump: one JSON object keyed by stat name. */
     void dumpJson(std::ostream& out) const;
+
+    /**
+     * Flatten the additive stats into sorted (name, value) pairs for
+     * interval snapshot/delta use: scalars as-is, vector elements as
+     * "name::elem", distributions as "name::samples" / "name::sum".
+     * Formulas are derived, not additive, and are skipped — a delta of
+     * a ratio is meaningless.
+     */
+    std::vector<std::pair<std::string, double>> flatten() const;
 
   private:
     struct VectorData

@@ -32,6 +32,10 @@ BandwidthMemory::issueRead(Addr /*addr*/, Count words, Cycle now)
     ++stats_.readRequests;
     stats_.readWords += words;
     stats_.totalReadLatency += done - now;
+    // Serialization behind earlier transfers is queueing; the rest of
+    // the round trip (transfer time + base latency) is service.
+    stats_.readQueueWait += lastWait_;
+    stats_.readService += (done - now) - lastWait_;
     return done;
 }
 

@@ -29,6 +29,22 @@ struct MemoryStats
     Cycle totalReadLatency = 0;
     Cycle totalWriteLatency = 0;
 
+    /**
+     * Component decomposition of read latency, used by the CPI-stack
+     * layer as apportionment weights (each model reports them in its
+     * native clock — only their ratios matter, so no clock-domain
+     * conversion is done):
+     *   readPortWait — wait behind other cores at a shared L2/arbiter
+     *   readQueueWait — wait in the controller queue / behind the bus
+     *   readRefresh — wait for a refresh window to complete
+     *   readService — actual bank access + data transfer
+     * Models without a given structure leave its component 0.
+     */
+    Cycle readPortWait = 0;
+    Cycle readQueueWait = 0;
+    Cycle readRefresh = 0;
+    Cycle readService = 0;
+
     double
     avgReadLatency() const
     {
@@ -52,6 +68,10 @@ struct MemoryStats
         writeWords += other.writeWords;
         totalReadLatency += other.totalReadLatency;
         totalWriteLatency += other.totalWriteLatency;
+        readPortWait += other.readPortWait;
+        readQueueWait += other.readQueueWait;
+        readRefresh += other.readRefresh;
+        readService += other.readService;
     }
 };
 

@@ -625,6 +625,45 @@ DoubleBufferedScratchpad::finishLayer()
             - r.statsBefore.totalReadLatency)
             / read_reqs;
     }
+
+    // CPI stack: compute/drain/bandwidth map 1:1 from the stall
+    // breakdown; the prefetch stall is refined across the backend
+    // using the memory model's read-latency components for this layer
+    // as weights. Integer floor division keeps every bucket exact and
+    // the remainder in prefetchMiss, so the stack always sums to
+    // totalCycles — the auditor's cpi.conservation law.
+    obs::CpiStack& cpi = r.timing.cpi;
+    cpi.compute = r.timing.totalCycles - r.timing.stallCycles;
+    cpi.drain = r.timing.drainStallCycles;
+    cpi.bandwidth = r.timing.bandwidthStallCycles;
+    const Cycle prefetch = r.timing.prefetchStallCycles;
+    const Cycle w_port =
+        stats_after.readPortWait - r.statsBefore.readPortWait;
+    const Cycle w_queue =
+        stats_after.readQueueWait - r.statsBefore.readQueueWait;
+    const Cycle w_refresh =
+        stats_after.readRefresh - r.statsBefore.readRefresh;
+    const Cycle w_service =
+        stats_after.readService - r.statsBefore.readService;
+    const Cycle w_sum = w_port + w_queue + w_refresh + w_service;
+    if (w_sum > 0 && prefetch > 0) {
+        using u128 = unsigned __int128;
+        auto share = [&](Cycle w) {
+            return static_cast<Cycle>(
+                static_cast<u128>(prefetch) * w / w_sum);
+        };
+        cpi.l2Wait = share(w_port);
+        cpi.dramQueue = share(w_queue);
+        cpi.refresh = share(w_refresh);
+        cpi.dramService = share(w_service);
+        cpi.prefetchMiss = prefetch - cpi.l2Wait - cpi.dramQueue
+            - cpi.refresh - cpi.dramService;
+    } else {
+        cpi.prefetchMiss = prefetch;
+    }
+    SIM_CHECK_EQ(cpi.total(), r.timing.totalCycles,
+                 "CPI stack must cover the layer wall clock");
+
     LayerTiming timing = std::move(r.timing);
     run_.reset();
     totals_.accumulate(timing);
@@ -668,6 +707,9 @@ DoubleBufferedScratchpad::registerStats(obs::StatsRegistry& reg,
         name("stallBreakdown"), "bandwidth",
         "stall cycles by cause (sums to stallCycles)",
         static_cast<double>(totals_.bandwidthStallCycles));
+    totals_.cpi.registerStats(
+        reg, name("cpistack"),
+        "per-cause cycle attribution (sums to totalCycles)");
     reg.addScalar(name("dramReadWords"), "main-memory words read",
                   static_cast<double>(totals_.dramReadWords));
     reg.addScalar(name("dramWriteWords"), "main-memory words written",

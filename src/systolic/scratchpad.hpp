@@ -21,6 +21,7 @@
 #include <vector>
 #include <unordered_map>
 
+#include "obs/cpi.hpp"
 #include "obs/stats.hpp"
 #include "systolic/mapping.hpp"
 #include "systolic/memory.hpp"
@@ -90,6 +91,17 @@ struct LayerTiming
     Cycle bandwidthStallCycles = 0;
 
     /**
+     * CPI stack of this layer: every wall-clock cycle in exactly one
+     * bucket (cpi.total() == totalCycles). Computed in finishLayer():
+     * compute/drain/bandwidth copy the buckets above; the prefetch
+     * stall is apportioned across the backend components (L2-arbiter
+     * wait, DRAM queue wait, DRAM service, refresh shadow) pro-rata to
+     * the read-latency components the memory model reported for this
+     * layer, with the remainder staying prefetchMiss.
+     */
+    obs::CpiStack cpi;
+
+    /**
      * Per-fold compute spans (only when
      * ScratchpadConfig::recordFoldSpans is set; capped at
      * kMaxRecordedFoldSpans per layer).
@@ -133,6 +145,7 @@ struct LayerTiming
         prefetchStallCycles += other.prefetchStallCycles;
         drainStallCycles += other.drainStallCycles;
         bandwidthStallCycles += other.bandwidthStallCycles;
+        cpi.accumulate(other.cpi);
         folds += other.folds;
         dramReadWords += other.dramReadWords;
         dramWriteWords += other.dramWriteWords;

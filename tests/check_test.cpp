@@ -63,7 +63,7 @@ traceActionCounts(const GemmDims& gemm, Dataflow df,
 TEST(AuditReport, LawTableIsStableAndUnique)
 {
     const auto& laws = InvariantAuditor::laws();
-    EXPECT_EQ(laws.size(), 11u);
+    EXPECT_EQ(laws.size(), 12u);
     std::set<std::string> names;
     for (const auto& law : laws) {
         EXPECT_FALSE(law.description.empty()) << law.name;
@@ -73,6 +73,7 @@ TEST(AuditReport, LawTableIsStableAndUnique)
     EXPECT_TRUE(names.count("spad.stallAccounting"));
     EXPECT_TRUE(names.count("foldCache.replayFidelity"));
     EXPECT_TRUE(names.count("run.totalsAccounting"));
+    EXPECT_TRUE(names.count("cpi.conservation"));
 }
 
 TEST(AuditReport, RegisterStatsIsSchemaStable)

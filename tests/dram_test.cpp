@@ -111,6 +111,31 @@ TEST(Channel, RandomRowsMostlyMiss)
     EXPECT_GE(stats.rowConflicts, 60u);
 }
 
+TEST(Channel, ReadLatencyDecompositionConserves)
+{
+    // Queue wait + refresh wait + service time must account for every
+    // read-latency cycle — the component split is exact, not sampled.
+    DramSystem sys(config());
+    const DramTiming& t = sys.config().timing;
+    const Addr stride = t.rowBytes * t.banksPerRank;
+    for (int i = 0; i < 256; ++i) {
+        // Mix row hits (sequential) with conflicts (bank-row stride)
+        // and bursts arriving at the same cycle to exercise queueing.
+        const Addr addr = (i % 2 == 0)
+            ? static_cast<Addr>(i) * t.burstBytes
+            : static_cast<Addr>(i) * stride;
+        sys.request(addr, t.burstBytes, false,
+                    static_cast<Cycle>(i / 8));
+    }
+    const DramStats stats = sys.totalStats();
+    ASSERT_EQ(stats.reads, 256u);
+    EXPECT_GT(stats.totalReadLatency, 0u);
+    EXPECT_GT(stats.readServiceTime, 0u);
+    EXPECT_EQ(stats.readQueueWait + stats.readRefreshWait
+                  + stats.readServiceTime,
+              stats.totalReadLatency);
+}
+
 TEST(Channel, BankParallelismBeatsSameBank)
 {
     // N requests spread over banks finish sooner than N conflicts in

@@ -1,260 +1,29 @@
 /**
  * @file
- * Minimal recursive-descent JSON validator/parser shared by the
- * observability tests: checks that a document is well-formed JSON and
- * exposes a tiny DOM for spot-checking values. Not a general-purpose
- * parser — just enough to validate the simulator's own outputs without
- * external dependencies.
+ * Thin test-side adapter over obs::JsonValue / obs::parseJson (the
+ * in-tree JSON reader that trace_report also uses), preserving the
+ * historical `jsoncheck::` spelling of the observability tests. The
+ * actual parser lives in src/obs/json_read.* so tests and tools
+ * exercise the same code.
  */
 
 #ifndef SCALESIM_TESTS_JSON_CHECK_HH
 #define SCALESIM_TESTS_JSON_CHECK_HH
 
-#include <cctype>
-#include <map>
-#include <memory>
 #include <string>
-#include <vector>
+
+#include "obs/json_read.hpp"
 
 namespace jsoncheck
 {
 
-struct Value
-{
-    enum class Kind
-    {
-        Null,
-        Bool,
-        Number,
-        String,
-        Array,
-        Object
-    };
-
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string text;
-    std::vector<Value> items;
-    std::map<std::string, Value> members;
-
-    const Value*
-    find(const std::string& key) const
-    {
-        const auto it = members.find(key);
-        return it == members.end() ? nullptr : &it->second;
-    }
-};
-
-class Parser
-{
-  public:
-    explicit Parser(const std::string& text) : text_(text) {}
-
-    /** Parse the whole document; false on any syntax error. */
-    bool
-    parse(Value& out)
-    {
-        pos_ = 0;
-        if (!parseValue(out))
-            return false;
-        skipWs();
-        return pos_ == text_.size();
-    }
-
-  private:
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size()
-               && std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    bool
-    consume(char c)
-    {
-        skipWs();
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    bool
-    literal(const char* word)
-    {
-        const std::size_t len = std::string(word).size();
-        if (text_.compare(pos_, len, word) == 0) {
-            pos_ += len;
-            return true;
-        }
-        return false;
-    }
-
-    bool
-    parseString(std::string& out)
-    {
-        skipWs();
-        if (pos_ >= text_.size() || text_[pos_] != '"')
-            return false;
-        ++pos_;
-        out.clear();
-        while (pos_ < text_.size()) {
-            const char c = text_[pos_++];
-            if (c == '"')
-                return true;
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    return false;
-                const char esc = text_[pos_++];
-                switch (esc) {
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'b': out += '\b'; break;
-                  case 'f': out += '\f'; break;
-                  case 'n': out += '\n'; break;
-                  case 'r': out += '\r'; break;
-                  case 't': out += '\t'; break;
-                  case 'u': {
-                      for (int i = 0; i < 4; ++i) {
-                          if (pos_ >= text_.size()
-                              || !std::isxdigit(static_cast<unsigned char>(
-                                     text_[pos_])))
-                              return false;
-                          ++pos_;
-                      }
-                      out += '?'; // placeholder; tests don't need it
-                      break;
-                  }
-                  default: return false;
-                }
-            } else if (static_cast<unsigned char>(c) < 0x20) {
-                return false; // raw control characters are invalid
-            } else {
-                out += c;
-            }
-        }
-        return false;
-    }
-
-    bool
-    parseNumber(Value& out)
-    {
-        const std::size_t start = pos_;
-        if (pos_ < text_.size() && text_[pos_] == '-')
-            ++pos_;
-        if (pos_ >= text_.size()
-            || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
-            return false;
-        while (pos_ < text_.size()
-               && std::isdigit(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-        if (pos_ < text_.size() && text_[pos_] == '.') {
-            ++pos_;
-            if (pos_ >= text_.size()
-                || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
-                return false;
-            while (pos_ < text_.size()
-                   && std::isdigit(static_cast<unsigned char>(
-                          text_[pos_])))
-                ++pos_;
-        }
-        if (pos_ < text_.size()
-            && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
-            ++pos_;
-            if (pos_ < text_.size()
-                && (text_[pos_] == '+' || text_[pos_] == '-'))
-                ++pos_;
-            if (pos_ >= text_.size()
-                || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
-                return false;
-            while (pos_ < text_.size()
-                   && std::isdigit(static_cast<unsigned char>(
-                          text_[pos_])))
-                ++pos_;
-        }
-        out.kind = Value::Kind::Number;
-        out.number = std::stod(text_.substr(start, pos_ - start));
-        return true;
-    }
-
-    bool
-    parseValue(Value& out)
-    {
-        skipWs();
-        if (pos_ >= text_.size())
-            return false;
-        const char c = text_[pos_];
-        if (c == '{') {
-            ++pos_;
-            out.kind = Value::Kind::Object;
-            skipWs();
-            if (consume('}'))
-                return true;
-            while (true) {
-                std::string key;
-                if (!parseString(key) || !consume(':'))
-                    return false;
-                Value member;
-                if (!parseValue(member))
-                    return false;
-                out.members[key] = std::move(member);
-                if (consume('}'))
-                    return true;
-                if (!consume(','))
-                    return false;
-            }
-        }
-        if (c == '[') {
-            ++pos_;
-            out.kind = Value::Kind::Array;
-            skipWs();
-            if (consume(']'))
-                return true;
-            while (true) {
-                Value item;
-                if (!parseValue(item))
-                    return false;
-                out.items.push_back(std::move(item));
-                if (consume(']'))
-                    return true;
-                if (!consume(','))
-                    return false;
-            }
-        }
-        if (c == '"') {
-            out.kind = Value::Kind::String;
-            return parseString(out.text);
-        }
-        if (c == 't') {
-            out.kind = Value::Kind::Bool;
-            out.boolean = true;
-            return literal("true");
-        }
-        if (c == 'f') {
-            out.kind = Value::Kind::Bool;
-            out.boolean = false;
-            return literal("false");
-        }
-        if (c == 'n') {
-            out.kind = Value::Kind::Null;
-            return literal("null");
-        }
-        return parseNumber(out);
-    }
-
-    const std::string& text_;
-    std::size_t pos_ = 0;
-};
+using Value = scalesim::obs::JsonValue;
 
 /** Convenience: parse text, returning success. */
 inline bool
 valid(const std::string& text, Value& out)
 {
-    return Parser(text).parse(out);
+    return scalesim::obs::parseJson(text, out);
 }
 
 } // namespace jsoncheck

@@ -1,20 +1,25 @@
 /**
  * @file
  * Tests for the observability substrate: the stats registry (scalar /
- * vector / distribution / formula semantics, merging, deterministic
- * dumps), the streaming JSON writer, the Chrome-trace builder, and the
- * determinism contract of detailed DSE sweeps (parallel stats dumps
+ * vector / distribution / formula semantics, percentiles, merging,
+ * deterministic dumps and flattening), the streaming JSON writer, the
+ * Chrome-trace builder, CPI-stack cycle conservation, interval
+ * time-series sampling/serialization, and the determinism contract of
+ * detailed DSE sweeps (parallel stats dumps and interval series
  * byte-identical to sequential ones).
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
 
 #include "common/workloads.hpp"
 #include "core/dse.hpp"
+#include "obs/cpi.hpp"
+#include "obs/interval.hpp"
 #include "obs/json.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
@@ -58,6 +63,64 @@ TEST(Histogram, EmptyHasNoNan)
     obs::Histogram h;
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
     EXPECT_DOUBLE_EQ(h.stdev(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, BucketZeroCoversSubUnitSamples)
+{
+    // Bucket 0 is [0, 1): every fractional latency lands there, and
+    // 1.0 starts bucket 1.
+    obs::Histogram h;
+    h.sample(0.0);
+    h.sample(0.25);
+    h.sample(0.99);
+    EXPECT_EQ(h.buckets[0], 3u);
+    h.sample(1.0);
+    EXPECT_EQ(h.buckets[1], 1u);
+}
+
+TEST(Histogram, QuantilesInterpolateWithinBuckets)
+{
+    obs::Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i));
+    // q <= 0 / q >= 1 clamp to the observed envelope.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 99.0);
+    // Bucket 6 spans [32, 64) with 32 samples and cumulative 32
+    // below it; target 50 interpolates to exactly 50.0.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
+    // Higher quantiles stay ordered and inside the envelope.
+    const double p90 = h.quantile(0.9);
+    const double p99 = h.quantile(0.99);
+    EXPECT_GE(p90, h.quantile(0.5));
+    EXPECT_GE(p99, p90);
+    EXPECT_LE(p99, h.maxSample);
+}
+
+TEST(Histogram, DumpEmitsPercentileLines)
+{
+    obs::StatsRegistry reg;
+    obs::Histogram h;
+    for (int i = 1; i <= 16; ++i)
+        h.sample(static_cast<double>(i));
+    reg.addDistribution("dram.readLatency", "latency", h);
+
+    std::ostringstream out;
+    reg.dump(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("dram.readLatency::p50"), std::string::npos);
+    EXPECT_NE(text.find("dram.readLatency::p90"), std::string::npos);
+    EXPECT_NE(text.find("dram.readLatency::p99"), std::string::npos);
+
+    std::ostringstream json_out;
+    reg.dumpJson(json_out);
+    jsoncheck::Value doc;
+    ASSERT_TRUE(jsoncheck::valid(json_out.str(), doc));
+    const jsoncheck::Value* dist = doc.find("dram.readLatency");
+    ASSERT_NE(dist, nullptr);
+    ASSERT_NE(dist->find("p50"), nullptr);
+    EXPECT_DOUBLE_EQ(dist->find("p50")->number, h.quantile(0.5));
 }
 
 TEST(StatsRegistry, ScalarsAccumulate)
@@ -224,6 +287,160 @@ TEST(TraceBuilder, EmitsValidChromeTraceJson)
     EXPECT_TRUE(saw_counter);
 }
 
+TEST(StatsRegistry, FlattenIsSortedAndSkipsFormulas)
+{
+    obs::StatsRegistry reg;
+    reg.addScalar("z.cycles", "c", 5.0);
+    reg.addVectorElem("a.vec", "e1", "v", 2.0);
+    reg.addVectorElem("a.vec", "e0", "v", 1.0);
+    obs::Histogram h;
+    h.sample(3.0);
+    reg.addDistribution("m.dist", "d", h);
+    obs::FormulaSpec f;
+    f.numerator = {{"z.cycles", 1.0}};
+    reg.addFormula("z.rate", "r", f);
+
+    const auto flat = reg.flatten();
+    ASSERT_TRUE(std::is_sorted(flat.begin(), flat.end()));
+    auto value_of = [&](const std::string& name) -> double {
+        for (const auto& [n, v] : flat)
+            if (n == name)
+                return v;
+        ADD_FAILURE() << "missing flattened stat " << name;
+        return std::nan("");
+    };
+    EXPECT_DOUBLE_EQ(value_of("z.cycles"), 5.0);
+    EXPECT_DOUBLE_EQ(value_of("a.vec::e0"), 1.0);
+    EXPECT_DOUBLE_EQ(value_of("a.vec::e1"), 2.0);
+    EXPECT_DOUBLE_EQ(value_of("m.dist::samples"), 1.0);
+    EXPECT_DOUBLE_EQ(value_of("m.dist::sum"), 3.0);
+    for (const auto& [n, v] : flat)
+        EXPECT_NE(n, "z.rate") << "formulas must not be flattened";
+}
+
+TEST(CpiStack, AccumulateAndNamesAreStable)
+{
+    obs::CpiStack a;
+    a.compute = 10;
+    a.drain = 2;
+    obs::CpiStack b;
+    b.compute = 3;
+    b.dramQueue = 5;
+    a.accumulate(b, 2);
+    EXPECT_EQ(a.compute, 16u);
+    EXPECT_EQ(a.dramQueue, 10u);
+    EXPECT_EQ(a.total(), 28u);
+
+    // Bucket order is part of the stats schema; pin it.
+    EXPECT_STREQ(obs::CpiStack::bucketName(0), "compute");
+    EXPECT_STREQ(obs::CpiStack::bucketName(1), "vector");
+    EXPECT_STREQ(
+        obs::CpiStack::bucketName(obs::CpiStack::kBucketCount - 1),
+        "refresh");
+    std::uint64_t by_bucket = 0;
+    for (unsigned i = 0; i < obs::CpiStack::kBucketCount; ++i)
+        by_bucket += a.bucketValue(i);
+    EXPECT_EQ(by_bucket, a.total());
+}
+
+namespace
+{
+
+obs::StatsRegistry
+cumulativeAt(double a, double b)
+{
+    obs::StatsRegistry reg;
+    reg.addScalar("sim.a", "a", a);
+    reg.addScalar("sim.b", "b", b);
+    return reg;
+}
+
+double
+deltaOf(const obs::IntervalRow& row, std::string_view name)
+{
+    for (const auto& [n, v] : row.deltas)
+        if (n == name)
+            return v;
+    ADD_FAILURE() << "missing delta " << name;
+    return std::nan("");
+}
+
+} // namespace
+
+TEST(IntervalSampler, EmitsRowsAtBoundariesAndFinishTail)
+{
+    obs::IntervalSampler off(0);
+    EXPECT_FALSE(off.enabled());
+
+    obs::IntervalSampler s(100);
+    ASSERT_TRUE(s.enabled());
+    s.sample(50, cumulativeAt(10, 1)); // before the first boundary
+    s.sample(150, cumulativeAt(30, 2)); // crosses cycle 100
+    s.sample(160, cumulativeAt(40, 3)); // next boundary is 200
+    s.finish(180, cumulativeAt(45, 4)); // partial tail row
+
+    const obs::IntervalSeries series = s.takeSeries();
+    EXPECT_EQ(series.interval, 100u);
+    ASSERT_EQ(series.rows.size(), 2u);
+    // First row's deltas are the cumulative values so far.
+    EXPECT_EQ(series.rows[0].cycle, 150u);
+    EXPECT_DOUBLE_EQ(deltaOf(series.rows[0], "sim.a"), 30.0);
+    EXPECT_DOUBLE_EQ(deltaOf(series.rows[0], "sim.b"), 2.0);
+    // The tail row carries only what accrued past the last row.
+    EXPECT_EQ(series.rows[1].cycle, 180u);
+    EXPECT_DOUBLE_EQ(deltaOf(series.rows[1], "sim.a"), 15.0);
+    EXPECT_DOUBLE_EQ(deltaOf(series.rows[1], "sim.b"), 2.0);
+}
+
+TEST(IntervalSampler, FinishWithoutNewCyclesAddsNoRow)
+{
+    obs::IntervalSampler s(10);
+    s.sample(10, cumulativeAt(5, 0));
+    s.finish(10, cumulativeAt(5, 0));
+    EXPECT_EQ(s.series().rows.size(), 1u);
+}
+
+TEST(IntervalSeries, SerializationsAreValidAndConsistent)
+{
+    obs::IntervalSampler s(100);
+    s.sample(150, cumulativeAt(30, 2));
+    s.finish(180, cumulativeAt(45, 4));
+    const obs::IntervalSeries series = s.takeSeries();
+
+    std::ostringstream text;
+    series.writeStatsText(text);
+    EXPECT_NE(text.str().find("Begin Interval Statistics"),
+              std::string::npos);
+    EXPECT_NE(text.str().find("cycle 150"), std::string::npos);
+    EXPECT_NE(text.str().find("cycle 180"), std::string::npos);
+
+    std::ostringstream csv;
+    series.writeCsv(csv);
+    EXPECT_EQ(csv.str().rfind("cycle,sim.a,sim.b\n", 0), 0u)
+        << csv.str();
+
+    std::ostringstream json_out;
+    series.writeJson(json_out);
+    jsoncheck::Value doc;
+    ASSERT_TRUE(jsoncheck::valid(json_out.str(), doc));
+    EXPECT_DOUBLE_EQ(doc.find("interval")->number, 100.0);
+    const jsoncheck::Value* rows = doc.find("rows");
+    ASSERT_NE(rows, nullptr);
+    ASSERT_EQ(rows->items.size(), 2u);
+    const jsoncheck::Value* stats = rows->items[0].find("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_DOUBLE_EQ(stats->find("sim.a")->number, 30.0);
+
+    // Counter tracks: one Perfetto counter sample per row for the
+    // prefix-selected stats.
+    obs::TraceBuilder trace;
+    series.toCounterTracks(trace, 0, "sim.a", "a");
+    std::ostringstream trace_out;
+    trace.write(trace_out);
+    jsoncheck::Value trace_doc;
+    ASSERT_TRUE(jsoncheck::valid(trace_out.str(), trace_doc));
+}
+
 namespace
 {
 
@@ -253,6 +470,41 @@ smallSweep(unsigned jobs)
 
 } // namespace
 
+TEST(Simulator, CpiStackConservesCyclesWithDramAndIntervals)
+{
+    SimConfig cfg;
+    cfg.dram.enabled = true;
+    cfg.audit = true;
+    cfg.intervalCycles = 2000;
+    core::Simulator sim(cfg);
+    const core::RunResult run = sim.run(tinyTopology());
+
+    // The auditor saw every per-layer and run-level CPI stack.
+    EXPECT_TRUE(run.audited);
+    EXPECT_TRUE(run.audit.clean());
+
+    // One cycle, one bucket: stacks partition wall-clock time exactly.
+    EXPECT_EQ(run.cpiTotals.total(), run.totalCycles);
+    for (const auto& layer : run.layers)
+        EXPECT_EQ(layer.cpi.total(), layer.totalCycles) << layer.name;
+
+    // With DRAM on, some stall bucket beyond compute/vector is live.
+    EXPECT_LT(run.cpiTotals.compute + run.cpiTotals.vectorUnit,
+              run.totalCycles);
+
+    // Interval rows exist and their cpistack deltas telescope back to
+    // the run total (sampling must not lose or duplicate cycles).
+    ASSERT_FALSE(run.intervals.empty());
+    double series_cycles = 0.0;
+    for (const auto& row : run.intervals.rows)
+        for (unsigned i = 0; i < obs::CpiStack::kBucketCount; ++i)
+            series_cycles += deltaOf(
+                row, std::string("sim.cpistack::")
+                         + obs::CpiStack::bucketName(i));
+    EXPECT_DOUBLE_EQ(series_cycles,
+                     static_cast<double>(run.totalCycles));
+}
+
 TEST(DseDetailed, ParallelStatsDumpsMatchSequential)
 {
     const Topology topo = tinyTopology();
@@ -274,6 +526,37 @@ TEST(DseDetailed, ParallelStatsDumpsMatchSequential)
     core::mergeSweepStats(seq).dump(s);
     core::mergeSweepStats(par).dump(p);
     EXPECT_EQ(s.str(), p.str());
+}
+
+TEST(DseDetailed, ParallelIntervalSeriesMatchSequential)
+{
+    const Topology topo = tinyTopology();
+    auto sweep_with_intervals = [](unsigned jobs) {
+        core::DseSweep sweep = smallSweep(jobs);
+        sweep.base.intervalCycles = 64;
+        return sweep;
+    };
+    const auto seq =
+        core::runSweepDetailed(sweep_with_intervals(1), topo);
+    const auto par =
+        core::runSweepDetailed(sweep_with_intervals(4), topo);
+    ASSERT_EQ(seq.size(), par.size());
+
+    // Every serialization of every point's time-series must be
+    // byte-identical regardless of the jobs count.
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_FALSE(seq[i].intervals.empty()) << "point " << i;
+        using Writer =
+            void (obs::IntervalSeries::*)(std::ostream&) const;
+        for (Writer writer : {&obs::IntervalSeries::writeStatsText,
+                              &obs::IntervalSeries::writeCsv,
+                              &obs::IntervalSeries::writeJson}) {
+            std::ostringstream s, p;
+            (seq[i].intervals.*writer)(s);
+            (par[i].intervals.*writer)(p);
+            EXPECT_EQ(s.str(), p.str()) << "point " << i;
+        }
+    }
 }
 
 TEST(DseDetailed, RunSweepMatchesDetailedPoints)

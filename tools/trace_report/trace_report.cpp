@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Bottleneck-attribution report over the simulator's machine-readable
+ * outputs:
+ *
+ *   trace_report run.json [--top N] [--series INTERVAL_SERIES.json]
+ *
+ * Reads the full run report (scalesim_cli --json), validates that every
+ * layer's CPI stack conserves cycles (buckets sum to totalCycles), and
+ * prints the run-level CPI stack plus the top-N layers ranked by
+ * repetition-weighted stall cycles with their dominant stall class.
+ * With --series it also summarizes the interval time-series (--interval
+ * output), reporting the most stall-heavy window.
+ *
+ * Exit codes: 0 clean, 1 usage/IO/JSON error, 2 CPI-stack conservation
+ * violation — CI runs it against fresh artifacts as a cross-check of
+ * the in-simulator `cpi.conservation` auditor law.
+ */
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/cpi.hpp"
+#include "obs/json_read.hpp"
+
+using scalesim::obs::CpiStack;
+using scalesim::obs::JsonValue;
+
+namespace
+{
+
+struct LayerRow
+{
+    std::string name;
+    std::uint64_t reps = 1;
+    std::uint64_t totalCycles = 0; ///< one instance
+    CpiStack cpi;                  ///< one instance
+
+    std::uint64_t weightedTotal() const { return totalCycles * reps; }
+    std::uint64_t
+    weightedStall() const
+    {
+        // Everything that is not useful compute (matrix or vector).
+        return (cpi.total() - cpi.compute - cpi.vectorUnit) * reps;
+    }
+};
+
+CpiStack
+readCpiStack(const JsonValue& obj)
+{
+    CpiStack cpi;
+    cpi.compute = static_cast<std::uint64_t>(obj.numberAt("compute"));
+    cpi.vectorUnit = static_cast<std::uint64_t>(obj.numberAt("vector"));
+    cpi.drain = static_cast<std::uint64_t>(obj.numberAt("drain"));
+    cpi.bandwidth =
+        static_cast<std::uint64_t>(obj.numberAt("bandwidth"));
+    cpi.prefetchMiss =
+        static_cast<std::uint64_t>(obj.numberAt("prefetchMiss"));
+    cpi.l2Wait = static_cast<std::uint64_t>(obj.numberAt("l2Wait"));
+    cpi.dramQueue =
+        static_cast<std::uint64_t>(obj.numberAt("dramQueue"));
+    cpi.dramService =
+        static_cast<std::uint64_t>(obj.numberAt("dramService"));
+    cpi.refresh = static_cast<std::uint64_t>(obj.numberAt("refresh"));
+    return cpi;
+}
+
+/** Stall bucket (index into CpiStack) with the most cycles. */
+unsigned
+dominantStall(const CpiStack& cpi)
+{
+    unsigned best = 2; // first non-compute bucket (drain)
+    for (unsigned i = 2; i < CpiStack::kBucketCount; ++i) {
+        if (cpi.bucketValue(i) > cpi.bucketValue(best))
+            best = i;
+    }
+    return best;
+}
+
+double
+pct(std::uint64_t part, std::uint64_t whole)
+{
+    return whole ? 100.0 * static_cast<double>(part)
+            / static_cast<double>(whole)
+                 : 0.0;
+}
+
+/**
+ * Check one CPI stack against its layer/run cycle count; prints and
+ * counts a violation on mismatch (the file-level "total" field is
+ * checked too, so a hand-edited report cannot sneak past).
+ */
+bool
+checkConservation(const char* scope, const CpiStack& cpi,
+                  std::uint64_t total_field, std::uint64_t cycles)
+{
+    if (cpi.total() == cycles && total_field == cycles)
+        return true;
+    std::fprintf(stderr,
+                 "trace_report: CPI-stack conservation violated in %s:"
+                 " buckets sum to %" PRIu64 ", total field %" PRIu64
+                 ", totalCycles %" PRIu64 "\n",
+                 scope, cpi.total(), total_field, cycles);
+    return false;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: trace_report run.json [--top N]"
+                 " [--series INTERVAL_SERIES.json]\n");
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string run_path;
+    std::string series_path;
+    std::uint64_t top_n = 5;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--top" && i + 1 < argc) {
+            top_n = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--series" && i + 1 < argc) {
+            series_path = argv[++i];
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else if (run_path.empty() && !arg.empty() && arg[0] != '-') {
+            run_path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (run_path.empty())
+        return usage();
+
+    JsonValue run;
+    if (!scalesim::obs::parseJsonFile(run_path, run)) {
+        std::fprintf(stderr, "trace_report: cannot parse %s\n",
+                     run_path.c_str());
+        return 1;
+    }
+    const JsonValue* totals = run.find("totals");
+    const JsonValue* layers = run.find("layers");
+    if (!totals || !layers || layers->kind != JsonValue::Kind::Array) {
+        std::fprintf(stderr,
+                     "trace_report: %s is not a run report "
+                     "(missing totals/layers)\n",
+                     run_path.c_str());
+        return 1;
+    }
+
+    bool conserved = true;
+    std::vector<LayerRow> rows;
+    rows.reserve(layers->items.size());
+    for (const JsonValue& l : layers->items) {
+        LayerRow row;
+        row.name = l.stringAt("name", "<unnamed>");
+        row.reps = static_cast<std::uint64_t>(
+            l.numberAt("repetitions", 1.0));
+        row.totalCycles =
+            static_cast<std::uint64_t>(l.numberAt("totalCycles"));
+        const JsonValue* cpi = l.find("cpiStack");
+        if (!cpi) {
+            std::fprintf(stderr,
+                         "trace_report: layer %s has no cpiStack "
+                         "(report predates cycle accounting?)\n",
+                         row.name.c_str());
+            return 1;
+        }
+        row.cpi = readCpiStack(*cpi);
+        conserved = checkConservation(
+                        row.name.c_str(), row.cpi,
+                        static_cast<std::uint64_t>(
+                            cpi->numberAt("total")),
+                        row.totalCycles)
+            && conserved;
+        rows.push_back(std::move(row));
+    }
+
+    const std::uint64_t run_cycles =
+        static_cast<std::uint64_t>(totals->numberAt("totalCycles"));
+    CpiStack run_cpi;
+    if (const JsonValue* cpi = totals->find("cpiStack")) {
+        run_cpi = readCpiStack(*cpi);
+        conserved = checkConservation(
+                        "totals", run_cpi,
+                        static_cast<std::uint64_t>(
+                            cpi->numberAt("total")),
+                        run_cycles)
+            && conserved;
+    }
+
+    std::printf("run: %s on %s — %" PRIu64 " cycles, %zu layers\n\n",
+                run.stringAt("runName", "?").c_str(),
+                run.stringAt("workload", "?").c_str(), run_cycles,
+                rows.size());
+
+    std::printf("CPI stack (where every cycle went):\n");
+    for (unsigned i = 0; i < CpiStack::kBucketCount; ++i) {
+        const std::uint64_t v = run_cpi.bucketValue(i);
+        if (v == 0)
+            continue;
+        std::printf("  %-14s %14" PRIu64 "  %6.2f%%\n",
+                    CpiStack::bucketName(i), v, pct(v, run_cycles));
+    }
+
+    std::sort(rows.begin(), rows.end(),
+              [](const LayerRow& a, const LayerRow& b) {
+                  if (a.weightedStall() != b.weightedStall())
+                      return a.weightedStall() > b.weightedStall();
+                  return a.name < b.name;
+              });
+    std::printf("\ntop layers by stall cycles (rep-weighted):\n");
+    std::printf("  %-24s %14s %8s  %s\n", "layer", "stallCycles",
+                "of run", "dominant cause");
+    const std::uint64_t shown =
+        std::min<std::uint64_t>(top_n, rows.size());
+    for (std::uint64_t i = 0; i < shown; ++i) {
+        const LayerRow& r = rows[i];
+        const unsigned cause = dominantStall(r.cpi);
+        std::printf("  %-24s %14" PRIu64 " %7.2f%%  %s (%.1f%% of "
+                    "layer)\n",
+                    r.name.c_str(), r.weightedStall(),
+                    pct(r.weightedStall(), run_cycles),
+                    CpiStack::bucketName(cause),
+                    pct(r.cpi.bucketValue(cause), r.cpi.total()));
+    }
+
+    if (!series_path.empty()) {
+        JsonValue series;
+        if (!scalesim::obs::parseJsonFile(series_path, series)) {
+            std::fprintf(stderr, "trace_report: cannot parse %s\n",
+                         series_path.c_str());
+            return 1;
+        }
+        const JsonValue* series_rows = series.find("rows");
+        if (!series_rows
+            || series_rows->kind != JsonValue::Kind::Array) {
+            std::fprintf(stderr,
+                         "trace_report: %s is not an interval series\n",
+                         series_path.c_str());
+            return 1;
+        }
+        // The most stall-heavy window: highest non-compute share of
+        // the window's cycle delta.
+        double worst_share = -1.0;
+        std::uint64_t worst_cycle = 0;
+        for (const JsonValue& r : series_rows->items) {
+            const JsonValue* stats = r.find("stats");
+            if (!stats)
+                continue;
+            const double total =
+                stats->numberAt("sim.cpistack::compute")
+                + stats->numberAt("sim.cpistack::vector");
+            double stall = 0.0;
+            for (unsigned i = 2; i < CpiStack::kBucketCount; ++i) {
+                stall += stats->numberAt(
+                    std::string("sim.cpistack::")
+                    + CpiStack::bucketName(i));
+            }
+            const double window = total + stall;
+            const double share = window > 0.0 ? stall / window : 0.0;
+            if (share > worst_share) {
+                worst_share = share;
+                worst_cycle =
+                    static_cast<std::uint64_t>(r.numberAt("cycle"));
+            }
+        }
+        std::printf("\nintervals: %zu samples every %" PRIu64
+                    " cycles; most stalled window ends at cycle "
+                    "%" PRIu64 " (%.1f%% stalled)\n",
+                    series_rows->items.size(),
+                    static_cast<std::uint64_t>(
+                        series.numberAt("interval")),
+                    worst_cycle, 100.0 * std::max(0.0, worst_share));
+    }
+
+    if (!conserved) {
+        std::fprintf(stderr,
+                     "trace_report: CPI-stack conservation FAILED\n");
+        return 2;
+    }
+    std::printf("\nCPI-stack conservation: OK\n");
+    return 0;
+}
