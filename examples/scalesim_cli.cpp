@@ -46,6 +46,7 @@ usage()
         "                    [--no-fold-cache] [--audit]\n"
         "                    [--interval N]\n"
         "                    [--multicore PRxPC] [--contention MODEL]\n"
+        "                    [--mc-jobs N]\n"
         "  --no-fold-cache disable the fold-replay demand cache\n"
         "               (same outputs, slower trace mode)\n"
         "  --audit      audit cross-module conservation laws after\n"
@@ -63,6 +64,11 @@ usage()
         "               PRxPC grid (e.g. 2x2) instead of one core\n"
         "  --contention shared (cycle-interleaved co-simulation,\n"
         "               default) | static (sequential 1/N split)\n"
+        "  --mc-jobs    co-step the shared-contention cores with the\n"
+        "               epoch-parallel engine on N worker threads\n"
+        "               (0 = auto; bit-identical to the serial\n"
+        "               engine); [multicore] Engine/Jobs in the\n"
+        "               config file select the same\n"
         "workloads: ";
     for (const auto& name : workloads::names())
         std::cerr << name << " ";
@@ -88,6 +94,7 @@ main(int argc, char** argv)
     std::string interval_arg;
     std::string multicore_grid;
     std::string contention_name = "shared";
+    std::string mc_jobs_arg;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -125,6 +132,8 @@ main(int argc, char** argv)
             multicore_grid = next();
         } else if (arg == "--contention") {
             contention_name = next();
+        } else if (arg == "--mc-jobs") {
+            mc_jobs_arg = next();
         } else {
             usage();
             return arg == "-h" || arg == "--help" ? 0 : 1;
@@ -177,6 +186,19 @@ main(int argc, char** argv)
             mc.dataflow = cfg.dataflow;
             mc.dramWordsPerCycle = cfg.memory.bandwidthWordsPerCycle;
             mc.contention = contention;
+            mc.engine = multicore::multiCoreEngineFromString(
+                cfg.multicore.engine);
+            mc.jobs = cfg.multicore.jobs;
+            if (!mc_jobs_arg.empty()) {
+                try {
+                    mc.jobs = static_cast<unsigned>(
+                        std::stoul(mc_jobs_arg));
+                } catch (const std::exception&) {
+                    fatal("--mc-jobs expects a worker count, got '%s'",
+                          mc_jobs_arg.c_str());
+                }
+                mc.engine = multicore::MultiCoreEngine::Epoch;
+            }
             const std::uint32_t word
                 = std::max<std::uint32_t>(1, cfg.memory.wordBytes);
             mc.l1.ifmapWords = cfg.memory.ifmapSramKb * 1024 / word;
@@ -184,11 +206,12 @@ main(int argc, char** argv)
             mc.l1.ofmapWords = cfg.memory.ofmapSramKb * 1024 / word;
 
             inform("running %s (%zu layers) on a %llux%llu grid of "
-                   "%ux%u %s arrays, %s contention",
+                   "%ux%u %s arrays, %s contention, %s engine",
                    topo.name.c_str(), topo.layers.size(), pr, pc,
                    cfg.arrayRows, cfg.arrayCols,
                    toString(cfg.dataflow).c_str(),
-                   multicore::toString(contention));
+                   multicore::toString(contention),
+                   multicore::toString(mc.engine));
 
             multicore::MultiCoreTraceSimulator mcs(mc);
             obs::StatsRegistry reg;

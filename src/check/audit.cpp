@@ -619,6 +619,27 @@ InvariantAuditor::auditArbiter(
                result.l1FillWords, result.l2.hitWords,
                result.l2.missWords);
     }
+    // Port-level read-latency split (the per-core feed of the CPI
+    // stack): whatever the shared backend left unattributed is folded
+    // into readService by MemoryPort, so the four components must
+    // cover every cycle of read latency exactly.
+    for (std::size_t i = 0; i < result.ports.size(); ++i) {
+        const auto& port = result.ports[i];
+        const Cycle split = port.readPortWait + port.readQueueWait
+            + port.readRefresh + port.readService;
+        verify(split == port.totalReadLatency, "cpi.conservation",
+               scope,
+               "core %zu port read-latency split %" PRIu64
+               " (port %" PRIu64 " + queue %" PRIu64 " + refresh %"
+               PRIu64 " + service %" PRIu64
+               ") != total read latency %" PRIu64,
+               i, static_cast<std::uint64_t>(split),
+               static_cast<std::uint64_t>(port.readPortWait),
+               static_cast<std::uint64_t>(port.readQueueWait),
+               static_cast<std::uint64_t>(port.readRefresh),
+               static_cast<std::uint64_t>(port.readService),
+               static_cast<std::uint64_t>(port.totalReadLatency));
+    }
 }
 
 void

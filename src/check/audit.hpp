@@ -48,7 +48,10 @@
  *   cpi.conservation         CPI-stack buckets partition wall-clock
  *                            time: the per-cause cycle buckets sum
  *                            exactly to totalCycles for every layer,
- *                            every core, and the whole run
+ *                            every core, and the whole run; the
+ *                            multi-core port-level read-latency split
+ *                            (portWait + queue + refresh + service)
+ *                            covers totalReadLatency per port
  */
 
 #ifndef SCALESIM_CHECK_AUDIT_HH
@@ -204,7 +207,8 @@ class InvariantAuditor
                             const systolic::MemoryStats& mem,
                             std::string_view scope);
 
-    /** mc.arbConservation over one multi-core layer result. */
+    /** mc.arbConservation over one multi-core layer result, plus the
+        per-port cpi.conservation read-latency split. */
     void auditArbiter(const multicore::MultiCoreTraceResult& result,
                       bool l2_enabled, std::string_view scope);
 

@@ -317,6 +317,11 @@ SimConfig::fromIni(const IniFile& ini)
     cfg.dram.coreClockMhz = ini.getDouble("memory", "CoreClockMhz",
                                           cfg.dram.coreClockMhz);
 
+    cfg.multicore.engine = ini.getString("multicore", "Engine",
+                                         cfg.multicore.engine);
+    cfg.multicore.jobs = ini.getUint32("multicore", "Jobs",
+                                       cfg.multicore.jobs);
+
     cfg.layout.enabled = ini.getBool("layout", "LayoutModel",
                                      cfg.layout.enabled);
     cfg.layout.banks = ini.getUint32("layout", "Banks",
@@ -378,6 +383,11 @@ SimConfig::validate() const
             fatal("request queues must be non-empty");
         if (dram.coreClockMhz <= 0.0)
             fatal("CoreClockMhz must be positive");
+    }
+    if (canonical(multicore.engine) != "serial"
+        && canonical(multicore.engine) != "epoch") {
+        fatal("[multicore] Engine must be serial or epoch (got '%s')",
+              multicore.engine.c_str());
     }
     if (layout.enabled) {
         if (layout.banks == 0 || layout.portsPerBank == 0)

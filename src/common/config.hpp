@@ -178,6 +178,21 @@ struct DramConfig
     double coreClockMhz = 1000.0;
 };
 
+/** [multicore] section knobs (trace-level multi-core runs). */
+struct MultiCoreEngineConfig
+{
+    /**
+     * Co-step engine for the shared-timeline contention model:
+     * "serial" (single-threaded reference) or "epoch" (epoch-parallel,
+     * bit-identical to serial for every worker count — golden A/B
+     * enforced). `--mc-jobs N` on the CLI selects epoch with N
+     * workers.
+     */
+    std::string engine = "serial";
+    /** Worker threads for the epoch engine (0 = auto). */
+    std::uint32_t jobs = 0;
+};
+
 /** [layout] section knobs (paper §VI). */
 struct LayoutModelConfig
 {
@@ -243,6 +258,7 @@ struct SimConfig
     MemoryConfig memory;
     SparsityConfig sparsity;
     DramConfig dram;
+    MultiCoreEngineConfig multicore;
     LayoutModelConfig layout;
     EnergyConfig energy;
 

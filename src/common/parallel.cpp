@@ -82,6 +82,44 @@ ThreadPool::workerLoop(std::stop_token stop)
 }
 
 void
+CompletionQueue::finish(std::size_t index, std::exception_ptr error)
+{
+    {
+        std::lock_guard lock(mutex_);
+        done_.push_back(index);
+        if (error && !error_)
+            error_ = error;
+    }
+    ready_.notify_one();
+}
+
+std::vector<std::size_t>
+CompletionQueue::poll()
+{
+    std::lock_guard lock(mutex_);
+    std::vector<std::size_t> out;
+    out.swap(done_);
+    return out;
+}
+
+std::vector<std::size_t>
+CompletionQueue::waitAny()
+{
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [this] { return !done_.empty(); });
+    std::vector<std::size_t> out;
+    out.swap(done_);
+    return out;
+}
+
+std::exception_ptr
+CompletionQueue::error()
+{
+    std::lock_guard lock(mutex_);
+    return error_;
+}
+
+void
 parallelFor(std::uint64_t n, unsigned jobs,
             const std::function<void(std::uint64_t)>& body)
 {

@@ -16,8 +16,10 @@
 #define SCALESIM_COMMON_PARALLEL_HH
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -69,6 +71,46 @@ class ThreadPool
     std::deque<std::function<void()>> tasks_;
     std::uint64_t inFlight_ = 0;
     std::vector<std::jthread> workers_; // last: joins before members die
+};
+
+/**
+ * Single-consumer completion channel for tracking *individual* tasks
+ * submitted to a ThreadPool (whose wait() only knows "all done").
+ * Each task calls finish(index) when it completes — from any thread —
+ * and the consumer collects finished indices with poll() (non-blocking)
+ * or waitAny() (blocks until at least one task has finished).
+ *
+ * Memory-visibility contract: every write a task performed before
+ * finish(i) is visible to the consumer once poll()/waitAny() has
+ * returned i (both sides synchronize on the internal mutex), so the
+ * consumer may freely read the task's results afterwards.
+ *
+ * A task that failed reports its exception via finish(i, eptr); the
+ * index is still delivered (so in-flight accounting stays exact) and
+ * the first reported exception is kept for the consumer to rethrow
+ * via error() once it has drained everything it is waiting on.
+ */
+class CompletionQueue
+{
+  public:
+    /** Mark task `index` finished; safe from any thread. */
+    void finish(std::size_t index,
+                std::exception_ptr error = nullptr);
+
+    /** Collect finished indices without blocking (may be empty). */
+    std::vector<std::size_t> poll();
+
+    /** Block until at least one task finishes, then collect. */
+    std::vector<std::size_t> waitAny();
+
+    /** First exception reported by finish(), or nullptr. */
+    std::exception_ptr error();
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    std::vector<std::size_t> done_;
+    std::exception_ptr error_;
 };
 
 /**

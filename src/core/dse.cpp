@@ -11,6 +11,19 @@
 namespace scalesim::core
 {
 
+SramSplit
+splitSramKb(std::uint64_t totalKb)
+{
+    SramSplit split;
+    split.filterKb = totalKb / 4;
+    split.ofmapKb = totalKb / 4;
+    // Remainder to the ifmap partition: the split must conserve the
+    // labeled total (totalKb % 4 != 0 would otherwise sweep a smaller
+    // memory than the point claims).
+    split.ifmapKb = totalKb - split.filterKb - split.ofmapKb;
+    return split;
+}
+
 std::vector<DseDetailedPoint>
 runSweepDetailed(const DseSweep& sweep, const Topology& topology)
 {
@@ -41,9 +54,10 @@ runSweepDetailed(const DseSweep& sweep, const Topology& topology)
         cfg.arrayRows = cfg.arrayCols = cand.array;
         cfg.dataflow = cand.dataflow;
         cfg.energy.enabled = true;
-        cfg.memory.ifmapSramKb = cand.sramKb / 2;
-        cfg.memory.filterSramKb = cand.sramKb / 4;
-        cfg.memory.ofmapSramKb = cand.sramKb / 4;
+        const SramSplit split = splitSramKb(cand.sramKb);
+        cfg.memory.ifmapSramKb = split.ifmapKb;
+        cfg.memory.filterSramKb = split.filterKb;
+        cfg.memory.ofmapSramKb = split.ofmapKb;
         // Worker-private Simulator/DramMemory: per-layer timeline_
         // coupling behaves exactly as in the sequential run.
         Simulator sim(cfg);

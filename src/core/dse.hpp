@@ -43,6 +43,20 @@ struct DsePoint
     }
 };
 
+/**
+ * 2:1:1 ifmap:filter:ofmap partition of a total SRAM budget. Integer
+ * division drops the remainder KB (a 6 KB budget would sweep as
+ * 3+1+1 = 5 KB, mislabeling the point); the remainder is assigned to
+ * the ifmap partition so the three parts always sum to `totalKb`.
+ */
+struct SramSplit
+{
+    std::uint64_t ifmapKb = 0;
+    std::uint64_t filterKb = 0;
+    std::uint64_t ofmapKb = 0;
+};
+SramSplit splitSramKb(std::uint64_t totalKb);
+
 /** Sweep definition; the base config supplies every other knob. */
 struct DseSweep
 {

@@ -64,17 +64,39 @@ MemoryPort::issueRead(Addr addr, Count words, Cycle now)
     const Cycle done = shared_.issueRead(addr, words, now);
     const systolic::MemoryStats after = shared_.stats();
     const Cycle wait = shared_.lastIssueWait();
+    const Cycle latency = done - now;
     const Cycle queue_delta = after.readQueueWait - before.readQueueWait;
+    const Cycle refresh_delta = after.readRefresh - before.readRefresh;
+    const Cycle service_delta = after.readService - before.readService;
+    // The issue wait is reclassified from queue wait to port wait, but
+    // only the overlap actually present in the backend's queue
+    // accounting: when the backend reports less queue wait than the
+    // issue wait (SharedL2 reports none at all), reclassifying the
+    // full `wait` would make cycles vanish from the split. Whatever
+    // the backend left unattributed (L2 hit/fill/transfer time) lands
+    // in readService, so the four components always sum to
+    // totalReadLatency — the port-level cpi.conservation law.
+    const Cycle reclass = std::min(wait, queue_delta);
+    const Cycle queue_kept = queue_delta - reclass;
+    const Cycle attributed =
+        wait + queue_kept + refresh_delta + service_delta;
+    const Cycle residual = latency > attributed ? latency - attributed
+                                                : 0;
     ++portStats_.readRequests;
     portStats_.readWords += words;
     portStats_.waitCycles += wait;
+    portStats_.totalReadLatency += latency;
+    portStats_.readPortWait += wait;
+    portStats_.readQueueWait += queue_kept;
+    portStats_.readRefresh += refresh_delta;
+    portStats_.readService += service_delta + residual;
     ++stats_.readRequests;
     stats_.readWords += words;
-    stats_.totalReadLatency += done - now;
+    stats_.totalReadLatency += latency;
     stats_.readPortWait += wait;
-    stats_.readQueueWait += queue_delta > wait ? queue_delta - wait : 0;
-    stats_.readRefresh += after.readRefresh - before.readRefresh;
-    stats_.readService += after.readService - before.readService;
+    stats_.readQueueWait += queue_kept;
+    stats_.readRefresh += refresh_delta;
+    stats_.readService += service_delta + residual;
     return done;
 }
 

@@ -89,6 +89,21 @@ struct MemoryPortStats
      * collision count. `stallOnL2` in the stats output.
      */
     Cycle waitCycles = 0;
+    /**
+     * Port-level read-latency split, mirroring what the port's L1
+     * engine sees through MainMemory::stats(). Conservation law
+     * (audited under `cpi.conservation`):
+     *   readPortWait + readQueueWait + readRefresh + readService
+     *     == totalReadLatency
+     * holds exactly for every shared model — the residual a backend
+     * leaves unattributed (e.g. SharedL2 hit/transfer time, which the
+     * L2 does not decompose) is folded into readService.
+     */
+    Cycle totalReadLatency = 0;
+    Cycle readPortWait = 0;
+    Cycle readQueueWait = 0;
+    Cycle readRefresh = 0;
+    Cycle readService = 0;
 };
 
 /**

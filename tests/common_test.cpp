@@ -244,6 +244,7 @@ TEST(SimConfig, FromIniDefaultsAndOverrides)
         "Dataflow = os\nIfmapSramSzkB = 512\n"
         "[memory]\nDramModel = true\nTech = HBM2\nChannels = 4\n"
         "ReadQueueSize = 32\n"
+        "[multicore]\nEngine = epoch\nJobs = 4\n"
         "[layout]\nLayoutModel = true\nBanks = 8\n"
         "[energy]\nEnergyModel = true\nRowSize = 16\n");
     SimConfig cfg = SimConfig::fromIni(ini);
@@ -261,6 +262,18 @@ TEST(SimConfig, FromIniDefaultsAndOverrides)
     EXPECT_EQ(cfg.layout.banks, 8u);
     EXPECT_TRUE(cfg.energy.enabled);
     EXPECT_EQ(cfg.energy.rowSize, 16u);
+    EXPECT_EQ(cfg.multicore.engine, "epoch");
+    EXPECT_EQ(cfg.multicore.jobs, 4u);
+}
+
+TEST(SimConfig, RejectsUnknownMulticoreEngine)
+{
+    SimConfig cfg;
+    cfg.multicore.engine = "turbo";
+    expectFatalContaining([&] { cfg.validate(); },
+                          "Engine must be serial or epoch");
+    cfg.multicore.engine = "Epoch"; // canonicalized like other knobs
+    cfg.validate();
 }
 
 TEST(SparseRatio, Parsing)

@@ -523,3 +523,24 @@ TEST(Simulator, SummaryMentionsKeyStats)
     EXPECT_NE(text.find("dram.rowHitRate"), std::string::npos);
     EXPECT_NE(text.find("energy.edp"), std::string::npos);
 }
+
+TEST(DseSweep, SramSplitConservesEveryKilobyte)
+{
+    // The sweep labels a point "N KB total" and splits it 2:1:1 across
+    // ifmap/filter/ofmap. Integer division used to drop up to 3 KB on
+    // totals not divisible by 4 (6 KB swept as 3+1+1 = 5 KB); the
+    // remainder now lands in the ifmap share.
+    for (std::uint64_t total : {4u, 5u, 6u, 7u, 64u, 1023u, 1024u}) {
+        const core::SramSplit split = core::splitSramKb(total);
+        EXPECT_EQ(split.ifmapKb + split.filterKb + split.ofmapKb, total)
+            << total;
+        EXPECT_EQ(split.filterKb, total / 4) << total;
+        EXPECT_EQ(split.ofmapKb, total / 4) << total;
+        EXPECT_GE(split.ifmapKb, split.filterKb) << total;
+    }
+    // Power-of-two totals keep the historical exact 2:1:1 split.
+    const core::SramSplit kb1024 = core::splitSramKb(1024);
+    EXPECT_EQ(kb1024.ifmapKb, 512u);
+    EXPECT_EQ(kb1024.filterKb, 256u);
+    EXPECT_EQ(kb1024.ofmapKb, 256u);
+}
