@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Cold-vs-warm throughput benchmark for the sweep server's
+ * content-addressed per-layer result cache. Drives an in-process
+ * serve::Server with the same sweep request twice:
+ *
+ *  1. Cold: empty cache, every layer of every sweep point simulated.
+ *  2. Warm: identical request, every layer served from the cache.
+ *
+ * The two response lines must be byte-identical (the cache is a pure
+ * memoization of layer evaluation), the warm pass must hit on >= 90%
+ * of its lookups, and the cold/warm throughput ratio must be >= 5x.
+ * Any violation exits nonzero so CI can gate on it.
+ *
+ *   sweep_server [workload] [output.json] [warm_reps]
+ *
+ * Defaults: resnet18, BENCH_sweep_server.json, 3 warm repetitions
+ * (best warm time is reported; each repetition re-verifies byte
+ * identity).
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/log.hpp"
+#include "common/workloads.hpp"
+#include "serve/server.hpp"
+
+using namespace scalesim;
+
+int
+main(int argc, char** argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "resnet18";
+    const std::string out_path =
+        argc > 2 ? argv[2] : "BENCH_sweep_server.json";
+    const int warm_reps = argc > 3 ? std::max(1, std::atoi(argv[3])) : 3;
+
+    const Topology topo = workloads::byName(workload);
+    const std::string request =
+        "{\"id\": 1, \"type\": \"sweep\", \"workload\": \"" + topo.name
+        + "\", \"sweep\": {\"arrays\": [16, 32], "
+          "\"dataflows\": [\"os\", \"ws\"], \"sramKb\": [512], "
+          "\"jobs\": 1}}";
+    const int points = 2 * 2 * 1;
+
+    serve::Server server({});
+    std::cout << "sweep_server: " << topo.name << " ("
+              << topo.layers.size() << " layers x " << points
+              << " sweep points)\n";
+
+    benchutil::Timer t;
+    const std::string cold = server.handleRequest(request);
+    const double cold_s = t.seconds();
+    const auto cold_stats = server.cache().stats();
+
+    double warm_s = 1e30;
+    bool identical = true;
+    for (int rep = 0; rep < warm_reps; ++rep) {
+        t.reset();
+        const std::string warm = server.handleRequest(request);
+        warm_s = std::min(warm_s, t.seconds());
+        identical = identical && warm == cold;
+    }
+    const auto warm_stats = server.cache().stats();
+
+    const std::uint64_t warm_hits = warm_stats.hits - cold_stats.hits;
+    const std::uint64_t warm_lookups =
+        warm_hits + (warm_stats.misses - cold_stats.misses);
+    const double warm_hit_rate = warm_lookups
+        ? static_cast<double>(warm_hits)
+              / static_cast<double>(warm_lookups)
+        : 0.0;
+    const double ratio = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+
+    std::cout << "  cold sweep: " << benchutil::fmt("%.3f", cold_s)
+              << " s\n  warm sweep: " << benchutil::fmt("%.3f", warm_s)
+              << " s (best of " << warm_reps
+              << ")\n  throughput: " << benchutil::fmt("%.1f", ratio)
+              << "x\n  warm hits:  " << warm_hits << "/" << warm_lookups
+              << " (" << benchutil::fmt("%.1f", 100.0 * warm_hit_rate)
+              << "%)\n  identical:  " << (identical ? "yes" : "NO")
+              << "\n  cache:      " << warm_stats.entries
+              << " entries, " << warm_stats.bytes << " bytes\n";
+
+    std::ofstream out(out_path);
+    if (!out)
+        fatal("cannot write %s", out_path.c_str());
+    out << "{\n"
+        << "  \"benchmark\": \"sweep_server\",\n"
+        << "  \"workload\": \"" << topo.name << "\",\n"
+        << "  \"points\": " << points << ",\n"
+        << "  \"layers\": " << topo.layers.size() << ",\n"
+        << "  \"warmReps\": " << warm_reps << ",\n"
+        << "  \"coldSeconds\": " << benchutil::fmt("%.6f", cold_s)
+        << ",\n"
+        << "  \"warmSeconds\": " << benchutil::fmt("%.6f", warm_s)
+        << ",\n"
+        << "  \"throughputRatio\": " << benchutil::fmt("%.3f", ratio)
+        << ",\n"
+        << "  \"warmHitRate\": "
+        << benchutil::fmt("%.6f", warm_hit_rate) << ",\n"
+        << "  \"byteIdentical\": " << (identical ? "true" : "false")
+        << ",\n"
+        << "  \"cacheEntries\": " << warm_stats.entries << ",\n"
+        << "  \"cacheBytes\": " << warm_stats.bytes << "\n"
+        << "}\n";
+    std::cout << "wrote " << out_path << "\n";
+
+    if (!identical) {
+        std::cerr << "FAIL: warm response differs from cold response\n";
+        return 1;
+    }
+    if (warm_hit_rate < 0.9) {
+        std::cerr << "FAIL: warm hit rate "
+                  << benchutil::fmt("%.3f", warm_hit_rate) << " < 0.9\n";
+        return 1;
+    }
+    if (ratio < 5.0) {
+        std::cerr << "FAIL: cold/warm throughput ratio "
+                  << benchutil::fmt("%.2f", ratio) << " < 5\n";
+        return 1;
+    }
+    return 0;
+}

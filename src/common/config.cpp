@@ -10,6 +10,7 @@
 
 #include "common/csv.hpp"
 #include "common/log.hpp"
+#include "common/parse.hpp"
 
 namespace scalesim
 {
@@ -177,14 +178,15 @@ IniFile::getDouble(std::string_view section, std::string_view key,
     const Entry* entry = find(section, key);
     if (!entry || entry->value.empty())
         return fallback;
-    const std::string& raw = entry->value;
-    char* end = nullptr;
-    errno = 0;
-    double value = std::strtod(raw.c_str(), &end);
-    if (end == raw.c_str() || *end != '\0')
+    double value = 0.0;
+    switch (parseDouble(entry->value, value)) {
+      case NumberParse::Ok:
+        break;
+      case NumberParse::Bad:
         badValue(section, key, *entry, "is not a number");
-    if (errno == ERANGE)
+      case NumberParse::OutOfRange:
         badValue(section, key, *entry, "is out of double range");
+    }
     return value;
 }
 

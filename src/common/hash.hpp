@@ -1,0 +1,75 @@
+/**
+ * @file
+ * FNV-1a content hashing for the content-addressed layer-result cache
+ * (and anything else that needs a stable, fast, dependency-free digest
+ * of canonical byte strings). 64-bit, byte-at-a-time — the same
+ * parameters the InvariantAuditor's replay-fidelity checksum uses.
+ */
+
+#ifndef SCALESIM_COMMON_HASH_HH
+#define SCALESIM_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace scalesim
+{
+
+/** Incremental 64-bit FNV-1a hasher. */
+class Fnv1a
+{
+  public:
+    static constexpr std::uint64_t kOffsetBasis =
+        1469598103934665603ull;
+    static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+    /** Digest of one contiguous buffer. */
+    static std::uint64_t
+    of(const void* data, std::size_t size)
+    {
+        Fnv1a h;
+        h.update(data, size);
+        return h.digest();
+    }
+
+    void
+    update(const void* data, std::size_t size)
+    {
+        const auto* bytes = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            hash_ ^= bytes[i];
+            hash_ *= kPrime;
+        }
+    }
+
+    /** Feed an integral value as its little-endian byte image. */
+    template <typename T>
+    void
+    mix(T value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        unsigned char bytes[sizeof(T)];
+        std::memcpy(bytes, &value, sizeof(T));
+        update(bytes, sizeof(T));
+    }
+
+    /** Feed a length-prefixed string (self-delimiting: "ab","c" and
+     *  "a","bc" hash differently). */
+    void
+    mixString(std::string_view text)
+    {
+        mix(static_cast<std::uint64_t>(text.size()));
+        update(text.data(), text.size());
+    }
+
+    std::uint64_t digest() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = kOffsetBasis;
+};
+
+} // namespace scalesim
+
+#endif // SCALESIM_COMMON_HASH_HH

@@ -1,0 +1,70 @@
+#include "common/parse.hpp"
+
+#include <charconv>
+#include <string>
+#include <system_error>
+
+#if defined(__GLIBC__) || defined(__APPLE__)
+#include <cstdlib>
+#include <locale.h>
+#define SCALESIM_HAVE_STRTOD_L 1
+#endif
+
+namespace scalesim
+{
+
+namespace
+{
+
+/**
+ * Saturated value for an out-of-range literal, computed with strtod
+ * pinned to the "C" locale so the global LC_NUMERIC cannot interfere.
+ * Only reached for extreme exponents; the hot path never allocates.
+ */
+double
+saturatedValue(std::string_view text)
+{
+#ifdef SCALESIM_HAVE_STRTOD_L
+    static const locale_t c_locale =
+        newlocale(LC_ALL_MASK, "C", static_cast<locale_t>(nullptr));
+    if (c_locale) {
+        const std::string copy(text);
+        return strtod_l(copy.c_str(), nullptr, c_locale);
+    }
+#endif
+    // Portable fallback: sign the overflow by the leading character.
+    // (Underflow saturates toward zero, which HUGE_VAL*0-free callers
+    // treat the same as a hard range error anyway.)
+    return text.starts_with('-') ? -__builtin_huge_val()
+                                 : __builtin_huge_val();
+}
+
+} // namespace
+
+NumberParse
+parseDouble(std::string_view text, double& value)
+{
+    // std::from_chars does not accept the leading '+' strtod allowed.
+    if (text.starts_with('+')) {
+        if (text.size() < 2 || text[1] == '+' || text[1] == '-')
+            return NumberParse::Bad;
+        text.remove_prefix(1);
+    }
+    if (text.empty())
+        return NumberParse::Bad;
+    const char* first = text.data();
+    const char* last = text.data() + text.size();
+    double parsed = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(first, last, parsed, std::chars_format::general);
+    if (ec == std::errc::invalid_argument || ptr != last)
+        return NumberParse::Bad;
+    if (ec == std::errc::result_out_of_range) {
+        value = saturatedValue(text);
+        return NumberParse::OutOfRange;
+    }
+    value = parsed;
+    return NumberParse::Ok;
+}
+
+} // namespace scalesim

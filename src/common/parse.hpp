@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Locale-independent number parsing. std::strtod honors LC_NUMERIC, so
+ * a process running under a comma-decimal locale (de_DE, fr_FR, ...)
+ * silently mis-parses "0.5" — the front-ends (INI configs, JSON
+ * requests) must behave identically regardless of the host locale.
+ * parseDouble is std::from_chars-based (locale-free by specification),
+ * with a locale-pinned strtod fallback only for the out-of-range
+ * saturation value.
+ */
+
+#ifndef SCALESIM_COMMON_PARSE_HH
+#define SCALESIM_COMMON_PARSE_HH
+
+#include <string_view>
+
+namespace scalesim
+{
+
+/** Outcome of parseDouble. */
+enum class NumberParse
+{
+    Ok,         ///< the whole text parsed; `value` is exact
+    Bad,        ///< not a number, or trailing garbage
+    OutOfRange, ///< magnitude over/underflows; `value` is saturated
+};
+
+/**
+ * Parse `text` as a decimal floating-point number ("0.5", "-1e9",
+ * "inf", "nan"; an optional leading '+' is accepted for strtod
+ * compatibility). The entire text must be consumed — trailing garbage
+ * is Bad. Never influenced by the global locale: "0.5" is always one
+ * half and "0,5" is always rejected. On OutOfRange, `value` holds the
+ * saturated result (±inf on overflow, ±0 on underflow).
+ */
+NumberParse parseDouble(std::string_view text, double& value);
+
+} // namespace scalesim
+
+#endif // SCALESIM_COMMON_PARSE_HH

@@ -17,6 +17,12 @@ Simulator::Simulator(const SimConfig& cfg)
     : cfg_(cfg)
 {
     cfg_.validate();
+    init();
+}
+
+void
+Simulator::init()
+{
     if (cfg_.dram.enabled) {
         dram_ = std::make_unique<dram::DramMemory>(cfg_.dram,
                                                    cfg_.memory.wordBytes);
@@ -53,6 +59,27 @@ Simulator::Simulator(const SimConfig& cfg)
 }
 
 Simulator::~Simulator() = default;
+
+void
+Simulator::reset()
+{
+    // Rebuild every stateful component from the config, exactly as the
+    // constructor does: the memory models carry row-buffer, refresh,
+    // and bus-occupancy state, the scratchpad holds queue/prefetch
+    // state, and the auditor accumulates checks. Dropping them first
+    // releases the scratchpad's reference into the old memory model.
+    scratchpad_.reset();
+    dram_.reset();
+    bandwidthMemory_.reset();
+    memory_ = nullptr;
+    energyModel_.reset();
+    auditor_.reset();
+    init();
+    timeline_ = 0;
+    foldCacheStats_ = {};
+    profiler_.reset();
+    ranOnce_ = false;
+}
 
 std::uint64_t
 Simulator::sramWords(std::uint64_t kb) const
@@ -265,6 +292,13 @@ Simulator::runLayer(const LayerSpec& layer, std::uint64_t layer_index)
 RunResult
 Simulator::run(const Topology& topology)
 {
+    // A second run() on the same object must be bit-identical to a run
+    // on a freshly constructed Simulator: without this, DRAM stats and
+    // row-buffer state, the running timeline, and fold-cache counters
+    // all leak from the first run into the second.
+    if (ranOnce_)
+        reset();
+    ranOnce_ = true;
     RunResult run;
     run.runName = cfg_.runName;
     run.workload = topology.name;

@@ -177,6 +177,16 @@ class Simulator
 
     const SimConfig& config() const { return cfg_; }
 
+    /**
+     * Return the instance to its just-constructed state: memory
+     * models, scratchpad, timeline, fold-cache counters, auditor, and
+     * self-profiler are all rebuilt from the config. run() calls this
+     * automatically before a second run, making back-to-back runs
+     * bit-identical to fresh-object runs; callers driving runLayer
+     * directly can reset between logical runs themselves.
+     */
+    void reset();
+
     /** Simulate one layer (one instance; callers scale repetitions). */
     LayerResult runLayer(const LayerSpec& layer,
                          std::uint64_t layer_index = 0);
@@ -211,6 +221,8 @@ class Simulator
 
   private:
     std::uint64_t sramWords(std::uint64_t kb) const;
+    /** Build all stateful components from cfg_ (ctor + reset body). */
+    void init();
 
     SimConfig cfg_;
     std::unique_ptr<systolic::BandwidthMemory> bandwidthMemory_;
@@ -226,6 +238,8 @@ class Simulator
     std::unique_ptr<check::InvariantAuditor> auditor_;
     /** Wall-clock/RSS self-measurement of this instance's runs. */
     SimProfiler profiler_;
+    /** Set by run(); triggers a reset() at the next run() call. */
+    bool ranOnce_ = false;
 };
 
 } // namespace scalesim::core

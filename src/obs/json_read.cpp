@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/parse.hpp"
+
 namespace scalesim::obs
 {
 
@@ -184,8 +186,12 @@ class Parser
                 ++pos_;
         }
         out.kind = JsonValue::Kind::Number;
-        out.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
-                                 nullptr);
+        // The grammar above already validated the slice; parseDouble is
+        // locale-independent where strtod would honor LC_NUMERIC and
+        // silently mis-read "0.5" under a comma-decimal locale. An
+        // out-of-range literal keeps the saturated value (±inf / ±0).
+        const std::string_view slice(text_.data() + start, pos_ - start);
+        parseDouble(slice, out.number);
         return true;
     }
 

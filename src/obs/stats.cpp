@@ -6,6 +6,7 @@
 
 #include "check/contract.hpp"
 #include "common/log.hpp"
+#include "common/serialize.hpp"
 #include "obs/json.hpp"
 
 namespace scalesim::obs
@@ -351,6 +352,165 @@ StatsRegistry::flatten() const
     // order; sort the flat view so snapshots align positionally.
     std::sort(out.begin(), out.end());
     return out;
+}
+
+namespace
+{
+
+// Variant tags of Entry::data in the binary encoding.
+constexpr std::uint8_t kTagScalar = 0;
+constexpr std::uint8_t kTagVector = 1;
+constexpr std::uint8_t kTagHistogram = 2;
+constexpr std::uint8_t kTagFormula = 3;
+
+void
+serializeTerms(
+    ByteWriter& out,
+    const std::vector<std::pair<std::string, double>>& terms)
+{
+    out.put(static_cast<std::uint64_t>(terms.size()));
+    for (const auto& [name, coeff] : terms) {
+        out.putString(name);
+        out.put(coeff);
+    }
+}
+
+bool
+deserializeTerms(ByteReader& in,
+                 std::vector<std::pair<std::string, double>>& terms)
+{
+    const std::uint64_t n = in.get<std::uint64_t>();
+    if (!in.ok() || n > in.remaining())
+        return false; // each term needs >= 1 byte; reject absurd sizes
+    terms.clear();
+    terms.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+        std::string name = in.getString();
+        const double coeff = in.get<double>();
+        terms.emplace_back(std::move(name), coeff);
+    }
+    return in.ok();
+}
+
+void
+serializeHistogram(ByteWriter& out, const Histogram& hist)
+{
+    for (unsigned i = 0; i < Histogram::kBuckets; ++i)
+        out.put(hist.buckets[i]);
+    out.put(hist.count);
+    out.put(hist.sum);
+    out.put(hist.sumSq);
+    out.put(hist.minSample);
+    out.put(hist.maxSample);
+}
+
+bool
+deserializeHistogram(ByteReader& in, Histogram& hist)
+{
+    for (unsigned i = 0; i < Histogram::kBuckets; ++i)
+        hist.buckets[i] = in.get<std::uint64_t>();
+    hist.count = in.get<std::uint64_t>();
+    hist.sum = in.get<double>();
+    hist.sumSq = in.get<double>();
+    hist.minSample = in.get<double>();
+    hist.maxSample = in.get<double>();
+    return in.ok();
+}
+
+} // namespace
+
+void
+StatsRegistry::serialize(ByteWriter& out) const
+{
+    out.put(static_cast<std::uint64_t>(stats_.size()));
+    for (const auto& [name, entry] : stats_) {
+        out.putString(name);
+        out.putString(entry.desc);
+        const auto& data = entry.data;
+        if (const auto* scalar = std::get_if<double>(&data)) {
+            out.put(kTagScalar);
+            out.put(*scalar);
+        } else if (const auto* vec = std::get_if<VectorData>(&data)) {
+            out.put(kTagVector);
+            serializeTerms(out, vec->elems);
+        } else if (const auto* hist = std::get_if<Histogram>(&data)) {
+            out.put(kTagHistogram);
+            serializeHistogram(out, *hist);
+        } else {
+            const auto& spec = std::get<FormulaSpec>(data);
+            out.put(kTagFormula);
+            serializeTerms(out, spec.numerator);
+            serializeTerms(out, spec.denominator);
+            out.put(spec.scale);
+        }
+    }
+}
+
+bool
+StatsRegistry::deserialize(ByteReader& in)
+{
+    stats_.clear();
+    const std::uint64_t n = in.get<std::uint64_t>();
+    if (!in.ok() || n > in.remaining()) {
+        stats_.clear();
+        return false;
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::string name = in.getString();
+        std::string desc = in.getString();
+        const std::uint8_t tag = in.get<std::uint8_t>();
+        if (!in.ok())
+            break;
+        Entry entry;
+        entry.desc = std::move(desc);
+        switch (tag) {
+          case kTagScalar:
+            entry.data = in.get<double>();
+            break;
+          case kTagVector: {
+            VectorData vec;
+            if (!deserializeTerms(in, vec.elems)) {
+                stats_.clear();
+                return false;
+            }
+            entry.data = std::move(vec);
+            break;
+          }
+          case kTagHistogram: {
+            Histogram hist;
+            if (!deserializeHistogram(in, hist)) {
+                stats_.clear();
+                return false;
+            }
+            entry.data = hist;
+            break;
+          }
+          case kTagFormula: {
+            FormulaSpec spec;
+            if (!deserializeTerms(in, spec.numerator)
+                || !deserializeTerms(in, spec.denominator)) {
+                stats_.clear();
+                return false;
+            }
+            spec.scale = in.get<double>();
+            entry.data = std::move(spec);
+            break;
+          }
+          default:
+            stats_.clear();
+            return false;
+        }
+        if (!in.ok()) {
+            stats_.clear();
+            return false;
+        }
+        stats_.emplace(std::move(name), std::move(entry));
+    }
+    if (!in.ok()) {
+        stats_.clear();
+        return false;
+    }
+    return true;
 }
 
 void

@@ -24,6 +24,12 @@
 #include <variant>
 #include <vector>
 
+namespace scalesim
+{
+class ByteWriter;
+class ByteReader;
+} // namespace scalesim
+
 namespace scalesim::obs
 {
 
@@ -134,6 +140,20 @@ class StatsRegistry
      * a ratio is meaningless.
      */
     std::vector<std::pair<std::string, double>> flatten() const;
+
+    /**
+     * Lossless binary encoding for the layer-result cache: doubles are
+     * stored as bit patterns, so a serialize/deserialize round trip
+     * reproduces dump()/dumpJson() byte-for-byte.
+     */
+    void serialize(ByteWriter& out) const;
+
+    /**
+     * Decode a registry previously written by serialize, replacing the
+     * current contents. Returns false (leaving the registry cleared)
+     * on a truncated or structurally invalid buffer — never crashes.
+     */
+    bool deserialize(ByteReader& in);
 
   private:
     struct VectorData

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Content-addressed per-layer result cache backing the sweep server
+ * (ROADMAP item 2). Entries are keyed on an FNV-1a hash of (canonical
+ * layer shape, config slice that affects timing/energy) — see
+ * cached_runner.hpp for what goes into the key — and hold the opaque
+ * serialized payload of one layer's isolated evaluation. DSE sweeps
+ * share most layers across design points, so a warm sweep is served
+ * almost entirely from here.
+ *
+ * The cache is thread-safe (one mutex; payload encode/decode happens
+ * outside it), evicts least-recently-used entries against a byte
+ * budget, and can persist to disk in a versioned format whose loader
+ * tolerates truncation and corruption: a bad tail is dropped with a
+ * warning, never a crash.
+ */
+
+#ifndef SCALESIM_SERVE_CACHE_HH
+#define SCALESIM_SERVE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace scalesim::obs
+{
+class StatsRegistry;
+}
+
+namespace scalesim::serve
+{
+
+/** Monotonic counters describing cache behavior (sim.cache.*). */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+    /** Entries accepted from a persisted cache file. */
+    std::uint64_t loadedEntries = 0;
+    /** Persisted entries rejected (bad checksum, truncation, ...). */
+    std::uint64_t loadRejected = 0;
+    /** Current payload bytes held (excludes per-entry overhead). */
+    std::uint64_t bytes = 0;
+    std::uint64_t entries = 0;
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t lookups = hits + misses;
+        return lookups ? static_cast<double>(hits) / lookups : 0.0;
+    }
+};
+
+/** Thread-safe LRU byte-budget cache; see file comment. */
+class LayerResultCache
+{
+  public:
+    /** `budgetBytes` caps held payload bytes; 0 means unlimited. */
+    explicit LayerResultCache(std::uint64_t budgetBytes = 0)
+        : budgetBytes_(budgetBytes)
+    {
+    }
+
+    /**
+     * Look up a key; on hit, copies the payload into `payload`,
+     * refreshes LRU order, and counts a hit. Counts a miss otherwise.
+     */
+    bool lookup(std::uint64_t key, std::string& payload);
+
+    /**
+     * Insert (or refresh) a payload. An entry larger than the whole
+     * budget is not inserted (it would immediately evict everything);
+     * otherwise LRU entries are evicted until the budget holds.
+     */
+    void insert(std::uint64_t key, std::string payload);
+
+    CacheStats stats() const;
+
+    /**
+     * Register sim.cache.* counters into a registry. Deliberately NOT
+     * part of any run/sweep result registry: hit/miss counts differ
+     * between cold and warm evaluation of the same request, and result
+     * registries are required to be byte-identical either way.
+     */
+    void registerStats(obs::StatsRegistry& reg,
+                       const std::string& prefix = "sim.cache") const;
+
+    /**
+     * Persist every entry to `path` (atomic: temp file + rename).
+     * Format: magic + version, then per-entry [key, size, payload,
+     * FNV-1a(payload)]. Returns false on I/O failure.
+     */
+    bool save(const std::string& path) const;
+
+    /**
+     * Load entries persisted by save() on top of the current contents.
+     * Corruption-tolerant: stops at the first short read, checksum
+     * mismatch, or absurd size, keeping the valid prefix and counting
+     * the rest as loadRejected. A missing file is just a cold start.
+     */
+    bool load(const std::string& path);
+
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::string payload;
+        /** Position in lru_ (front = most recently used). */
+        std::list<std::uint64_t>::iterator lruPos;
+    };
+
+    /** Evict LRU entries until bytes_ fits the budget (lock held). */
+    void evictToBudget();
+
+    mutable std::mutex mutex_;
+    std::uint64_t budgetBytes_;
+    std::uint64_t bytes_ = 0;
+    std::list<std::uint64_t> lru_;
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    CacheStats stats_;
+};
+
+} // namespace scalesim::serve
+
+#endif // SCALESIM_SERVE_CACHE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Cache-backed topology/sweep evaluation for the sweep server.
+ *
+ * The cached runner evaluates every layer **in isolation**: the
+ * Simulator is reset before each layer, so a layer's result depends
+ * only on (layer shape, config) — not on its position in the topology
+ * or on DRAM state carried over from earlier layers. That position
+ * independence is exactly what makes a per-layer content-addressed
+ * cache sound. It is a deliberately different (and documented)
+ * semantic from Simulator::run's coupled timeline, where row-buffer
+ * and refresh state flows across layer boundaries; sweeps compare
+ * design points, and layer-isolated evaluation ranks them identically
+ * while letting warm sweeps skip simulation entirely.
+ *
+ * The cache key is a 64-bit FNV-1a digest over a version tag, the
+ * config slice that affects per-layer timing/energy (array geometry,
+ * dataflow, mode, fold cache, SIMD, all [memory]/[sparsity]/[dram]/
+ * [layout]/[energy] knobs), and the canonical layer shape. runName,
+ * audit, interval sampling, multicore engine choice, the layer's
+ * display name, and its repetition count are deliberately excluded —
+ * they never change one instance's numbers (name/repetitions are
+ * patched onto the cached result at hit time). The layer index joins
+ * the key only when sparsity is enabled, because SparseLayerModel
+ * seeds its per-row pattern with the layer position.
+ *
+ * Byte-identity contract: for a fixed config and topology, the runner
+ * produces bit-identical RunResults (stats dumps included) whether
+ * every layer was simulated, decoded from cache, or any mix — the
+ * cache payload stores doubles as bit patterns and the per-layer
+ * component stats registry verbatim.
+ */
+
+#ifndef SCALESIM_SERVE_CACHED_RUNNER_HH
+#define SCALESIM_SERVE_CACHED_RUNNER_HH
+
+#include "core/dse.hpp"
+#include "serve/cache.hpp"
+
+namespace scalesim::serve
+{
+
+/** Content-address of one layer evaluation; see file comment. */
+std::uint64_t layerCacheKey(const SimConfig& cfg, const LayerSpec& layer,
+                            std::uint64_t layer_index);
+
+/**
+ * Evaluate a topology with layer-isolated semantics, consulting (and
+ * filling) `cache` when non-null. Audit, interval sampling, and
+ * fold-span recording are incompatible with cached evaluation; those
+ * configs fall back to the standard coupled Simulator::run (cache
+ * neither consulted nor filled) so their outputs stay complete.
+ */
+core::RunResult runTopologyCached(const SimConfig& cfg,
+                                  const Topology& topology,
+                                  LayerResultCache* cache);
+
+/**
+ * runSweepDetailed with layer-isolated semantics and a shared cache:
+ * candidates run on `sweep.jobs` workers, results land at their
+ * sequential-order index, and every worker consults the same
+ * thread-safe cache. Output is byte-identical for any jobs value and
+ * for any cache state (cold, warm, partial).
+ */
+std::vector<core::DseDetailedPoint>
+runSweepCachedDetailed(const core::DseSweep& sweep,
+                       const Topology& topology,
+                       LayerResultCache* cache);
+
+/** Point-only variant of runSweepCachedDetailed. */
+std::vector<core::DsePoint> runSweepCached(const core::DseSweep& sweep,
+                                           const Topology& topology,
+                                           LayerResultCache* cache);
+
+} // namespace scalesim::serve
+
+#endif // SCALESIM_SERVE_CACHED_RUNNER_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Simulator reentrancy regression tests. Calling run() twice on one
+ * Simulator used to leak state from the first run into the second:
+ * DRAM stats kept accumulating, the scratchpad and fold cache carried
+ * warm state, and component stats double-registered. A second run must
+ * now be bit-identical to a run on a freshly constructed object, with
+ * the stats dump as the byte-level witness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/workloads.hpp"
+#include "core/simulator.hpp"
+
+using namespace scalesim;
+using namespace scalesim::core;
+
+namespace
+{
+
+Topology
+smallTopology()
+{
+    Topology topo;
+    topo.name = "rerun";
+    topo.layers.push_back(
+        LayerSpec::conv("conv", 14, 14, 3, 3, 16, 32, 1));
+    topo.layers.push_back(LayerSpec::gemm("fc", 4, 64, 128));
+    return topo;
+}
+
+SimConfig
+fullConfig()
+{
+    SimConfig cfg;
+    cfg.arrayRows = 16;
+    cfg.arrayCols = 16;
+    cfg.dataflow = Dataflow::WeightStationary;
+    cfg.mode = SimMode::Trace;
+    cfg.dram.enabled = true;
+    cfg.energy.enabled = true;
+    return cfg;
+}
+
+std::string
+statsDump(const RunResult& run)
+{
+    std::ostringstream out;
+    run.writeStats(out);
+    return out.str();
+}
+
+} // namespace
+
+TEST(Rerun, SecondRunMatchesFreshObject)
+{
+    const SimConfig cfg = fullConfig();
+    const Topology topo = smallTopology();
+
+    Simulator reused(cfg);
+    const RunResult first = reused.run(topo);
+    const RunResult second = reused.run(topo);
+
+    Simulator fresh(cfg);
+    const RunResult reference = fresh.run(topo);
+
+    // Pre-fix: DRAM words doubled on the second run and the stats
+    // dump diverged (cumulative dram.* counters, warm fold cache).
+    EXPECT_EQ(second.totalCycles, reference.totalCycles);
+    EXPECT_EQ(second.computeCycles, reference.computeCycles);
+    EXPECT_EQ(second.stallCycles, reference.stallCycles);
+    EXPECT_EQ(second.dramReadWords, reference.dramReadWords);
+    EXPECT_EQ(second.dramWriteWords, reference.dramWriteWords);
+    EXPECT_EQ(second.dramStats.reads, reference.dramStats.reads);
+    EXPECT_EQ(second.dramStats.writes, reference.dramStats.writes);
+    EXPECT_EQ(second.dramStats.refreshes,
+              reference.dramStats.refreshes);
+    EXPECT_EQ(statsDump(second), statsDump(reference));
+    EXPECT_EQ(statsDump(first), statsDump(reference));
+}
+
+TEST(Rerun, ExplicitResetMatchesFreshObject)
+{
+    const SimConfig cfg = fullConfig();
+    const Topology topo = smallTopology();
+
+    Simulator reused(cfg);
+    (void)reused.run(topo);
+    reused.reset();
+    const RunResult after_reset = reused.run(topo);
+
+    Simulator fresh(cfg);
+    EXPECT_EQ(statsDump(after_reset), statsDump(fresh.run(topo)));
+}
+
+TEST(Rerun, SparseRunsStayIdentical)
+{
+    SimConfig cfg = fullConfig();
+    cfg.sparsity.enabled = true;
+    Topology topo = smallTopology();
+    topo.layers[0].sparseN = 2;
+    topo.layers[0].sparseM = 4;
+
+    Simulator reused(cfg);
+    (void)reused.run(topo);
+    const RunResult second = reused.run(topo);
+
+    Simulator fresh(cfg);
+    EXPECT_EQ(statsDump(second), statsDump(fresh.run(topo)));
+}
+
+TEST(Rerun, AuditStaysCleanOnSecondRun)
+{
+    SimConfig cfg = fullConfig();
+    cfg.audit = true;
+    const Topology topo = smallTopology();
+
+    Simulator sim(cfg);
+    const RunResult first = sim.run(topo);
+    ASSERT_TRUE(first.audited);
+    EXPECT_TRUE(first.audit.clean());
+
+    // Pre-fix: stale per-run baselines made the conservation laws
+    // fire on the second run even though the simulation was correct.
+    const RunResult second = sim.run(topo);
+    ASSERT_TRUE(second.audited);
+    EXPECT_TRUE(second.audit.clean())
+        << [&] {
+               std::ostringstream out;
+               second.audit.writeReport(out);
+               return out.str();
+           }();
+    EXPECT_EQ(second.audit.checks(), first.audit.checks());
+}

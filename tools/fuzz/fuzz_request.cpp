@@ -1,0 +1,32 @@
+/**
+ * @file
+ * libFuzzer harness for the sweep server's request parser: feeds
+ * arbitrary bytes through Server::handleRequest on a dry-run server
+ * (requests are parsed and validated end to end — JSON, config
+ * overlay, topology, sweep axes — but nothing simulates). The
+ * contract under fuzz is total: handleRequest never throws and always
+ * returns one well-formed response line; any crash, hang, or ASan
+ * finding is a bug.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/log.hpp"
+#include "serve/server.hpp"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    scalesim::setQuiet(true);
+    static scalesim::serve::Server server([] {
+        scalesim::serve::Server::Options options;
+        options.dryRun = true;
+        return options;
+    }());
+    const std::string line(reinterpret_cast<const char*>(data), size);
+    const std::string response = server.handleRequest(line);
+    (void)response;
+    return 0;
+}
