@@ -27,6 +27,7 @@
 
 #include "bench_util.hpp"
 #include "common/log.hpp"
+#include "common/parse.hpp"
 #include "common/workloads.hpp"
 #include "serve/server.hpp"
 
@@ -38,7 +39,15 @@ main(int argc, char** argv)
     const std::string workload = argc > 1 ? argv[1] : "resnet18";
     const std::string out_path =
         argc > 2 ? argv[2] : "BENCH_sweep_server.json";
-    const int warm_reps = argc > 3 ? std::max(1, std::atoi(argv[3])) : 3;
+    std::int64_t warm_reps = 3;
+    if (argc > 3
+        && (parseInt64(argv[3], warm_reps) != NumberParse::Ok
+            || warm_reps < 1)) {
+        std::cerr << "sweep_server: bad rep count '" << argv[3]
+                  << "'\nusage: sweep_server [workload] [out.json]"
+                     " [warm reps >= 1]\n";
+        return 2;
+    }
 
     const Topology topo = workloads::byName(workload);
     const std::string request =
@@ -60,7 +69,7 @@ main(int argc, char** argv)
 
     double warm_s = 1e30;
     bool identical = true;
-    for (int rep = 0; rep < warm_reps; ++rep) {
+    for (std::int64_t rep = 0; rep < warm_reps; ++rep) {
         t.reset();
         const std::string warm = server.handleRequest(request);
         warm_s = std::min(warm_s, t.seconds());

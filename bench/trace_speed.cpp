@@ -29,6 +29,7 @@
 
 #include "bench_util.hpp"
 #include "common/log.hpp"
+#include "common/parse.hpp"
 #include "common/workloads.hpp"
 #include "energy/action_counts.hpp"
 #include "systolic/demand.hpp"
@@ -130,7 +131,14 @@ main(int argc, char** argv)
     const std::string workload = argc > 1 ? argv[1] : "resnet50";
     const std::string out_path =
         argc > 2 ? argv[2] : "BENCH_trace_speed.json";
-    const int reps = argc > 3 ? std::atoi(argv[3]) : 3;
+    std::int64_t reps = 3;
+    if (argc > 3
+        && (parseInt64(argv[3], reps) != NumberParse::Ok || reps < 1)) {
+        std::cerr << "trace_speed: bad rep count '" << argv[3]
+                  << "'\nusage: trace_speed [workload] [out.json]"
+                     " [reps >= 1]\n";
+        return 2;
+    }
 
     const Topology topo = workloads::byName(workload);
     SimConfig cfg;
@@ -146,7 +154,7 @@ main(int argc, char** argv)
     double best_live = 1e30;
     double best_cached = 1e30;
     PassTotals live, cached;
-    for (int rep = 0; rep < std::max(1, reps); ++rep) {
+    for (std::int64_t rep = 0; rep < reps; ++rep) {
         benchutil::Timer t;
         live = runDemandPass(topo, cfg, false);
         best_live = std::min(best_live, t.seconds());
@@ -202,7 +210,7 @@ main(int argc, char** argv)
         << "  \"arrayRows\": " << cfg.arrayRows << ",\n"
         << "  \"arrayCols\": " << cfg.arrayCols << ",\n"
         << "  \"dataflow\": \"" << toString(cfg.dataflow) << "\",\n"
-        << "  \"reps\": " << std::max(1, reps) << ",\n"
+        << "  \"reps\": " << reps << ",\n"
         << "  \"simdBackend\": \"" << simd::backendName() << "\",\n"
         << "  \"uncachedSeconds\": "
         << benchutil::fmt("%.6f", best_live) << ",\n"

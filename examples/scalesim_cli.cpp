@@ -16,14 +16,17 @@
  * With no arguments it runs ResNet-18 on the default configuration.
  */
 
-#include <cstdio>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
+#include <string_view>
 
 #include "check/audit.hpp"
 #include "common/log.hpp"
+#include "common/parse.hpp"
 #include "common/workloads.hpp"
 #include "core/simulator.hpp"
 #include "multicore/trace_sim.hpp"
@@ -157,20 +160,26 @@ main(int argc, char** argv)
         if (audit)
             cfg.audit = true;
         if (!interval_arg.empty()) {
-            try {
-                cfg.intervalCycles = std::stoull(interval_arg);
-            } catch (const std::exception&) {
+            std::uint64_t interval = 0;
+            if (parseUint64(interval_arg, interval)
+                != NumberParse::Ok) {
                 fatal("--interval expects a cycle count, got '%s'",
                       interval_arg.c_str());
             }
+            cfg.intervalCycles = interval;
         }
 
         if (!multicore_grid.empty()) {
             // Trace-level multi-core path: partition each layer over a
             // PrxPc grid of arrays sharing an L2 and the DRAM bus.
-            unsigned long long pr = 0, pc = 0;
-            if (std::sscanf(multicore_grid.c_str(), "%llux%llu", &pr,
-                            &pc) != 2
+            std::uint64_t pr = 0, pc = 0;
+            const std::string_view grid = multicore_grid;
+            const std::size_t cross = grid.find('x');
+            if (cross == std::string_view::npos
+                || parseUint64(grid.substr(0, cross), pr)
+                       != NumberParse::Ok
+                || parseUint64(grid.substr(cross + 1), pc)
+                       != NumberParse::Ok
                 || pr == 0 || pc == 0) {
                 fatal("--multicore expects PRxPC (e.g. 2x2), got '%s'",
                       multicore_grid.c_str());
@@ -190,13 +199,13 @@ main(int argc, char** argv)
                 cfg.multicore.engine);
             mc.jobs = cfg.multicore.jobs;
             if (!mc_jobs_arg.empty()) {
-                try {
-                    mc.jobs = static_cast<unsigned>(
-                        std::stoul(mc_jobs_arg));
-                } catch (const std::exception&) {
+                std::uint64_t jobs = 0;
+                if (parseUint64(mc_jobs_arg, jobs) != NumberParse::Ok
+                    || jobs > std::numeric_limits<unsigned>::max()) {
                     fatal("--mc-jobs expects a worker count, got '%s'",
                           mc_jobs_arg.c_str());
                 }
+                mc.jobs = static_cast<unsigned>(jobs);
                 mc.engine = multicore::MultiCoreEngine::Epoch;
             }
             const std::uint32_t word
@@ -207,7 +216,9 @@ main(int argc, char** argv)
 
             inform("running %s (%zu layers) on a %llux%llu grid of "
                    "%ux%u %s arrays, %s contention, %s engine",
-                   topo.name.c_str(), topo.layers.size(), pr, pc,
+                   topo.name.c_str(), topo.layers.size(),
+                   static_cast<unsigned long long>(pr),
+                   static_cast<unsigned long long>(pc),
                    cfg.arrayRows, cfg.arrayCols,
                    toString(cfg.dataflow).c_str(),
                    multicore::toString(contention),

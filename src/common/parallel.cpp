@@ -13,6 +13,9 @@ resolveJobs(unsigned requested)
 {
     if (requested != 0)
         return requested;
+    // Read-only env lookup before any pool thread exists; nothing in
+    // the simulator calls setenv, so this cannot race.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* env = std::getenv("SCALESIM_JOBS")) {
         const long parsed = std::strtol(env, nullptr, 10);
         if (parsed > 0)
@@ -44,7 +47,7 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         tasks_.push_back(std::move(task));
         ++inFlight_;
     }
@@ -54,8 +57,11 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock lock(mutex_);
-    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+    MutexLock lock(mutex_);
+    allDone_.wait(lock, [this] {
+        mutex_.assertHeld(); // the wait predicate runs locked
+        return inFlight_ == 0;
+    });
 }
 
 void
@@ -64,9 +70,11 @@ ThreadPool::workerLoop(std::stop_token stop)
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock lock(mutex_);
-            taskReady_.wait(lock, stop,
-                            [this] { return !tasks_.empty(); });
+            MutexLock lock(mutex_);
+            taskReady_.wait(lock, stop, [this] {
+                mutex_.assertHeld();
+                return !tasks_.empty();
+            });
             if (tasks_.empty())
                 return; // stop requested and queue drained
             task = std::move(tasks_.front());
@@ -74,7 +82,7 @@ ThreadPool::workerLoop(std::stop_token stop)
         }
         task();
         {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             if (--inFlight_ == 0)
                 allDone_.notify_all();
         }
@@ -85,7 +93,7 @@ void
 CompletionQueue::finish(std::size_t index, std::exception_ptr error)
 {
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         done_.push_back(index);
         if (error && !error_)
             error_ = error;
@@ -96,7 +104,7 @@ CompletionQueue::finish(std::size_t index, std::exception_ptr error)
 std::vector<std::size_t>
 CompletionQueue::poll()
 {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::size_t> out;
     out.swap(done_);
     return out;
@@ -105,8 +113,11 @@ CompletionQueue::poll()
 std::vector<std::size_t>
 CompletionQueue::waitAny()
 {
-    std::unique_lock lock(mutex_);
-    ready_.wait(lock, [this] { return !done_.empty(); });
+    MutexLock lock(mutex_);
+    ready_.wait(lock, [this] {
+        mutex_.assertHeld();
+        return !done_.empty();
+    });
     std::vector<std::size_t> out;
     out.swap(done_);
     return out;
@@ -115,7 +126,7 @@ CompletionQueue::waitAny()
 std::exception_ptr
 CompletionQueue::error()
 {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return error_;
 }
 
@@ -135,8 +146,27 @@ parallelFor(std::uint64_t n, unsigned jobs,
 
     std::atomic<std::uint64_t> next{0};
     std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mutex;
+    /** First exception across workers, with an annotated lock. */
+    struct ErrorSlot
+    {
+        CheckedMutex mutex;
+        std::exception_ptr first SIM_GUARDED_BY(mutex);
+
+        void
+        store(std::exception_ptr error) SIM_EXCLUDES(mutex)
+        {
+            MutexLock lock(mutex);
+            if (!first)
+                first = error;
+        }
+
+        std::exception_ptr
+        take() SIM_EXCLUDES(mutex)
+        {
+            MutexLock lock(mutex);
+            return first;
+        }
+    } slot;
     auto drain = [&] {
         for (;;) {
             const std::uint64_t i =
@@ -146,9 +176,7 @@ parallelFor(std::uint64_t n, unsigned jobs,
             try {
                 body(i);
             } catch (...) {
-                std::lock_guard lock(error_mutex);
-                if (!error)
-                    error = std::current_exception();
+                slot.store(std::current_exception());
                 failed.store(true, std::memory_order_relaxed);
                 return;
             }
@@ -160,7 +188,7 @@ parallelFor(std::uint64_t n, unsigned jobs,
         for (unsigned w = 0; w < workers; ++w)
             threads.emplace_back(drain);
     }
-    if (error)
+    if (auto error = slot.take())
         std::rethrow_exception(error);
 }
 

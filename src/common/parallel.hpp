@@ -10,6 +10,12 @@
  * index into a pre-sized vector, making parallel output bit-identical to
  * the sequential run (enforced by tests/parallel_test.cpp). Workers must
  * not share mutable state; each owns its own Simulator/DramMemory.
+ *
+ * Locking discipline (statically enforced under clang's thread-safety
+ * analysis, see check/thread_safety.hpp): every mutable member of
+ * ThreadPool and CompletionQueue is guarded by the instance's one
+ * mutex; all public entry points acquire it internally and must be
+ * called without it held (SIM_EXCLUDES).
  */
 
 #ifndef SCALESIM_COMMON_PARALLEL_HH
@@ -21,9 +27,10 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "check/thread_safety.hpp"
 
 namespace scalesim
 {
@@ -56,20 +63,20 @@ class ThreadPool
     unsigned threadCount() const { return threadCount_; }
 
     /** Enqueue one task. */
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) SIM_EXCLUDES(mutex_);
 
     /** Block until all submitted tasks have completed. */
-    void wait();
+    void wait() SIM_EXCLUDES(mutex_);
 
   private:
-    void workerLoop(std::stop_token stop);
+    void workerLoop(std::stop_token stop) SIM_EXCLUDES(mutex_);
 
     unsigned threadCount_;
-    std::mutex mutex_;
+    CheckedMutex mutex_;
     std::condition_variable_any taskReady_;
-    std::condition_variable allDone_;
-    std::deque<std::function<void()>> tasks_;
-    std::uint64_t inFlight_ = 0;
+    std::condition_variable_any allDone_;
+    std::deque<std::function<void()>> tasks_ SIM_GUARDED_BY(mutex_);
+    std::uint64_t inFlight_ SIM_GUARDED_BY(mutex_) = 0;
     std::vector<std::jthread> workers_; // last: joins before members die
 };
 
@@ -95,22 +102,23 @@ class CompletionQueue
   public:
     /** Mark task `index` finished; safe from any thread. */
     void finish(std::size_t index,
-                std::exception_ptr error = nullptr);
+                std::exception_ptr error = nullptr)
+        SIM_EXCLUDES(mutex_);
 
     /** Collect finished indices without blocking (may be empty). */
-    std::vector<std::size_t> poll();
+    std::vector<std::size_t> poll() SIM_EXCLUDES(mutex_);
 
     /** Block until at least one task finishes, then collect. */
-    std::vector<std::size_t> waitAny();
+    std::vector<std::size_t> waitAny() SIM_EXCLUDES(mutex_);
 
     /** First exception reported by finish(), or nullptr. */
-    std::exception_ptr error();
+    std::exception_ptr error() SIM_EXCLUDES(mutex_);
 
   private:
-    std::mutex mutex_;
-    std::condition_variable ready_;
-    std::vector<std::size_t> done_;
-    std::exception_ptr error_;
+    CheckedMutex mutex_;
+    std::condition_variable_any ready_;
+    std::vector<std::size_t> done_ SIM_GUARDED_BY(mutex_);
+    std::exception_ptr error_ SIM_GUARDED_BY(mutex_);
 };
 
 /**

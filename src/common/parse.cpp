@@ -1,6 +1,7 @@
 #include "common/parse.hpp"
 
 #include <charconv>
+#include <limits>
 #include <string>
 #include <system_error>
 
@@ -40,6 +41,52 @@ saturatedValue(std::string_view text)
 }
 
 } // namespace
+
+namespace
+{
+
+/** Shared whole-text from_chars driver for the integer parsers. */
+template <typename Integer>
+NumberParse
+parseInteger(std::string_view text, Integer& value)
+{
+    // std::from_chars does not accept the leading '+' strtol allowed.
+    if (text.starts_with('+')) {
+        if (text.size() < 2 || text[1] == '+' || text[1] == '-')
+            return NumberParse::Bad;
+        text.remove_prefix(1);
+    }
+    if (text.empty())
+        return NumberParse::Bad;
+    const char* first = text.data();
+    const char* last = text.data() + text.size();
+    Integer parsed = 0;
+    const auto [ptr, ec] = std::from_chars(first, last, parsed, 10);
+    if (ec == std::errc::invalid_argument || ptr != last)
+        return NumberParse::Bad;
+    if (ec == std::errc::result_out_of_range) {
+        value = text.starts_with('-')
+                    ? std::numeric_limits<Integer>::min()
+                    : std::numeric_limits<Integer>::max();
+        return NumberParse::OutOfRange;
+    }
+    value = parsed;
+    return NumberParse::Ok;
+}
+
+} // namespace
+
+NumberParse
+parseInt64(std::string_view text, std::int64_t& value)
+{
+    return parseInteger(text, value);
+}
+
+NumberParse
+parseUint64(std::string_view text, std::uint64_t& value)
+{
+    return parseInteger(text, value);
+}
 
 NumberParse
 parseDouble(std::string_view text, double& value)

@@ -12,6 +12,7 @@
 #ifndef SCALESIM_COMMON_PARSE_HH
 #define SCALESIM_COMMON_PARSE_HH
 
+#include <cstdint>
 #include <string_view>
 
 namespace scalesim
@@ -34,6 +35,20 @@ enum class NumberParse
  * saturated result (±inf on overflow, ±0 on underflow).
  */
 NumberParse parseDouble(std::string_view text, double& value);
+
+/**
+ * Parse `text` as a base-10 signed integer. Same contract as
+ * parseDouble: the whole text must be consumed, an optional leading
+ * '+' is accepted, and the global locale is never consulted. On
+ * OutOfRange, `value` saturates to the nearest representable bound.
+ */
+NumberParse parseInt64(std::string_view text, std::int64_t& value);
+
+/**
+ * Parse `text` as a base-10 unsigned integer. A leading '-' is Bad
+ * (never the strtoul-style wraparound). Otherwise as parseInt64.
+ */
+NumberParse parseUint64(std::string_view text, std::uint64_t& value);
 
 } // namespace scalesim
 

@@ -273,7 +273,10 @@ class Channel
     std::vector<Cycle> nextRefresh_;
     std::deque<Cycle> actWindow_;
     std::uint64_t nextSeq_ = 0;
-    // Completions of serviced requests awaiting retrieval.
+    // Completions of serviced requests awaiting retrieval. Keyed
+    // access only (erased by request id): hash order never decides
+    // scheduling or stats (scalesim_lint unordered-iteration-to-output
+    // would flag any iteration added here).
     std::unordered_map<std::uint64_t, Cycle> completed_;
     std::uint64_t hitStreak_ = 0;
     std::uint32_t streakBank_ = ~0u;

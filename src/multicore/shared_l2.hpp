@@ -89,6 +89,9 @@ class SharedL2 : public systolic::MainMemory
     SharedL2Stats l2Stats_;
     std::uint64_t capacityLines_;
     std::list<std::uint64_t> lru_;
+    // Keyed access only: replacement decisions walk lru_, so hash
+    // order never influences hit/miss sequences or the cycle counts
+    // derived from them (scalesim_lint unordered-iteration-to-output).
     std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
         index_;
     double busFree_ = 0.0;

@@ -257,6 +257,14 @@ using Spad = systolic::DoubleBufferedScratchpad;
  * DESIGN.md): grants depend only on advertised events and floors,
  * never on worker scheduling, so the grant sequence — and with it
  * every stat — is reproducible independent of the worker count.
+ *
+ * Thread-safety: the only state shared with the workers is the
+ * CompletionQueue (internally locked; its methods carry SIM_EXCLUDES
+ * annotations, see common/parallel.hpp) and the engine handed to each
+ * task — which the coordinator masks out of next[] until the
+ * completion is harvested, so exactly one thread touches an engine at
+ * a time. No other state here needs a mutex, and scalesim_lint's
+ * `naked-mutex` check would flag an unannotated one.
  */
 ArbiterStats
 coStepEpoch(const std::vector<Spad*>& engines, bool scan_reverse,

@@ -24,7 +24,7 @@ constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
 bool
 LayerResultCache::lookup(std::uint64_t key, std::string& payload)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(key);
     if (it == entries_.end()) {
         ++stats_.misses;
@@ -39,7 +39,7 @@ LayerResultCache::lookup(std::uint64_t key, std::string& payload)
 void
 LayerResultCache::insert(std::uint64_t key, std::string payload)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (budgetBytes_ != 0 && payload.size() > budgetBytes_)
         return; // would evict the whole cache for one entry
     auto it = entries_.find(key);
@@ -76,7 +76,7 @@ LayerResultCache::evictToBudget()
 CacheStats
 LayerResultCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     CacheStats snap = stats_;
     snap.bytes = bytes_;
     snap.entries = entries_.size();
@@ -126,7 +126,7 @@ LayerResultCache::save(const std::string& path) const
         const std::uint32_t version = kVersion;
         out.write(reinterpret_cast<const char*>(&version),
                   sizeof(version));
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         // Walk LRU back-to-front so a reload preserves recency order:
         // the most recently used entry is written last and therefore
         // refreshed last on load.
@@ -167,7 +167,7 @@ LayerResultCache::load(const std::string& path)
     if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0
         || version != kVersion) {
         warn("cache file %s: bad header, ignoring", path.c_str());
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++stats_.loadRejected;
         return false;
     }
@@ -198,7 +198,7 @@ LayerResultCache::load(const std::string& path)
         warn("cache file %s: dropped corrupt tail (%llu entries kept)",
              path.c_str(), static_cast<unsigned long long>(accepted));
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.loadedEntries += accepted;
     stats_.loadRejected += rejected;
     return true;
@@ -207,7 +207,7 @@ LayerResultCache::load(const std::string& path)
 void
 LayerResultCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     entries_.clear();
     lru_.clear();
     bytes_ = 0;

@@ -12,7 +12,17 @@
  * outside it), evicts least-recently-used entries against a byte
  * budget, and can persist to disk in a versioned format whose loader
  * tolerates truncation and corruption: a bad tail is dropped with a
- * warning, never a crash.
+ * warning, never a crash. The locking discipline is annotated for
+ * clang's thread-safety analysis (check/thread_safety.hpp): every
+ * mutable member is SIM_GUARDED_BY(mutex_) and every public method
+ * acquires the mutex internally (SIM_EXCLUDES).
+ *
+ * Determinism note: entries_ is an unordered_map but is only ever
+ * accessed by key — anything order-dependent (LRU eviction, disk
+ * persistence) walks the lru_ list, so hash-table iteration order can
+ * never leak into persisted bytes or responses (pinned by
+ * tests/determinism_test.cpp; the scalesim_lint
+ * `unordered-iteration-to-output` check keeps it that way).
  */
 
 #ifndef SCALESIM_SERVE_CACHE_HH
@@ -20,9 +30,10 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "check/thread_safety.hpp"
 
 namespace scalesim::obs
 {
@@ -69,16 +80,18 @@ class LayerResultCache
      * Look up a key; on hit, copies the payload into `payload`,
      * refreshes LRU order, and counts a hit. Counts a miss otherwise.
      */
-    bool lookup(std::uint64_t key, std::string& payload);
+    bool lookup(std::uint64_t key, std::string& payload)
+        SIM_EXCLUDES(mutex_);
 
     /**
      * Insert (or refresh) a payload. An entry larger than the whole
      * budget is not inserted (it would immediately evict everything);
      * otherwise LRU entries are evicted until the budget holds.
      */
-    void insert(std::uint64_t key, std::string payload);
+    void insert(std::uint64_t key, std::string payload)
+        SIM_EXCLUDES(mutex_);
 
-    CacheStats stats() const;
+    CacheStats stats() const SIM_EXCLUDES(mutex_);
 
     /**
      * Register sim.cache.* counters into a registry. Deliberately NOT
@@ -94,7 +107,7 @@ class LayerResultCache
      * Format: magic + version, then per-entry [key, size, payload,
      * FNV-1a(payload)]. Returns false on I/O failure.
      */
-    bool save(const std::string& path) const;
+    bool save(const std::string& path) const SIM_EXCLUDES(mutex_);
 
     /**
      * Load entries persisted by save() on top of the current contents.
@@ -102,9 +115,9 @@ class LayerResultCache
      * mismatch, or absurd size, keeping the valid prefix and counting
      * the rest as loadRejected. A missing file is just a cold start.
      */
-    bool load(const std::string& path);
+    bool load(const std::string& path) SIM_EXCLUDES(mutex_);
 
-    void clear();
+    void clear() SIM_EXCLUDES(mutex_);
 
   private:
     struct Entry
@@ -115,14 +128,16 @@ class LayerResultCache
     };
 
     /** Evict LRU entries until bytes_ fits the budget (lock held). */
-    void evictToBudget();
+    void evictToBudget() SIM_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
+    mutable CheckedMutex mutex_;
+    /** Immutable after construction, so safely read without the lock. */
     std::uint64_t budgetBytes_;
-    std::uint64_t bytes_ = 0;
-    std::list<std::uint64_t> lru_;
-    std::unordered_map<std::uint64_t, Entry> entries_;
-    CacheStats stats_;
+    std::uint64_t bytes_ SIM_GUARDED_BY(mutex_) = 0;
+    std::list<std::uint64_t> lru_ SIM_GUARDED_BY(mutex_);
+    std::unordered_map<std::uint64_t, Entry> entries_
+        SIM_GUARDED_BY(mutex_);
+    CacheStats stats_ SIM_GUARDED_BY(mutex_);
 };
 
 } // namespace scalesim::serve

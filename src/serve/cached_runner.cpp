@@ -537,6 +537,11 @@ runSweepCachedDetailed(const core::DseSweep& sweep,
                 candidates.push_back({array, df, sram_kb});
 
     std::vector<core::DseDetailedPoint> points(candidates.size());
+    // Worker-shared state is exactly {candidates (read-only), points
+    // (written by-index, pre-sized), cache (internally locked — its
+    // methods are SIM_EXCLUDES-annotated, see cache.hpp)}; everything
+    // else below is constructed per-iteration, which is what makes the
+    // parallel sweep bit-identical to the sequential one.
     parallelFor(candidates.size(), sweep.jobs, [&](std::uint64_t i) {
         const Candidate& cand = candidates[i];
         SimConfig cfg = sweep.base;

@@ -91,6 +91,13 @@ class Server
     bool saveCache() const;
 
   private:
+    // Thread-safety story (checked under clang's thread-safety
+    // analysis via the members' own types): options_ is immutable
+    // after construction, cache_ serializes internally on its
+    // SIM_GUARDED_BY-annotated mutex (see cache.hpp), and the three
+    // counters are atomics — the Server itself needs no mutex, which
+    // is why none is declared here (scalesim_lint's `naked-mutex`
+    // check would demand annotations for one).
     Options options_;
     LayerResultCache cache_;
     std::atomic<std::uint64_t> requests_{0};

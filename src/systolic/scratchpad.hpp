@@ -184,6 +184,9 @@ class TileCache
     std::uint64_t capacity_;
     std::uint64_t used_ = 0;
     std::list<std::pair<std::uint64_t, std::uint64_t>> lru_;
+    // Keyed access only: eviction and every stat walk lru_, so hash
+    // order never reaches timing or outputs (scalesim_lint
+    // unordered-iteration-to-output keeps it that way).
     std::unordered_map<std::uint64_t, decltype(lru_)::iterator> index_;
 };
 

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Self-tests for tools/lint/scalesim_lint: every check must fire on
+ * its fixture at the pinned lines, every `scalesim-lint: allow(...)`
+ * in the fixtures must suppress, the exit-code contract (0 clean,
+ * 1 findings, 2 usage error) must hold, and the real source tree must
+ * stay lint-clean. The linter binary path comes from the build system
+ * (SCALESIM_LINT_BIN); fixtures live under tools/lint/fixtures and
+ * are excluded from tree scans by the tool's default excludes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+struct LintRun
+{
+    int exitCode = -1;
+    std::string output; // stdout: "file:line: [check] message" lines
+};
+
+LintRun
+runLint(const std::string& arguments)
+{
+    // Findings go to stdout; the summary goes to stderr and is not
+    // part of the parsed contract, so drop it.
+    const std::string command = std::string(SCALESIM_LINT_BIN) + " "
+        + arguments + " 2>/dev/null";
+    LintRun run;
+    FILE* pipe = popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << command;
+    if (pipe == nullptr)
+        return run;
+    std::array<char, 4096> buffer{};
+    std::size_t got = 0;
+    while ((got = fread(buffer.data(), 1, buffer.size(), pipe)) > 0)
+        run.output.append(buffer.data(), got);
+    const int status = pclose(pipe);
+    run.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return run;
+}
+
+std::string
+fixture(const std::string& name)
+{
+    return std::string(SCALESIM_SOURCE_DIR) + "/tools/lint/fixtures/"
+        + name;
+}
+
+/** Lines of `output` that contain `needle`. */
+std::size_t
+countContaining(const std::string& output, const std::string& needle)
+{
+    std::size_t count = 0, pos = 0;
+    while ((pos = output.find(needle, pos)) != std::string::npos) {
+        ++count;
+        pos += needle.size();
+    }
+    return count;
+}
+
+TEST(LintTest, CleanFixtureExitsZero)
+{
+    const LintRun run = runLint(fixture("clean.cpp"));
+    EXPECT_EQ(run.exitCode, 0);
+    EXPECT_EQ(run.output, "");
+}
+
+TEST(LintTest, LocaleParseFiresOnEachApiAndSuppresses)
+{
+    const LintRun run = runLint(fixture("locale_parse.cpp"));
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_EQ(countContaining(run.output, "[locale-parse]"), 5u);
+    EXPECT_EQ(countContaining(run.output, ":18:"), 1u); // atoi
+    EXPECT_EQ(countContaining(run.output, ":24:"), 1u); // strtod
+    EXPECT_EQ(countContaining(run.output, ":30:"), 1u); // std::stoi
+    EXPECT_EQ(countContaining(run.output, ":36:"), 1u); // sscanf
+    EXPECT_EQ(countContaining(run.output, ":43:"), 1u); // >> double
+    // The two allow()ed atoi calls (above-line and trailing forms).
+    EXPECT_EQ(countContaining(run.output, ":51:"), 0u);
+    EXPECT_EQ(countContaining(run.output, ":57:"), 0u);
+}
+
+TEST(LintTest, UnorderedIterationFiresInOutputFileAndSuppresses)
+{
+    const LintRun run = runLint(fixture("unordered_iteration.cpp"));
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_EQ(
+        countContaining(run.output, "[unordered-iteration-to-output]"),
+        2u);
+    EXPECT_EQ(countContaining(run.output, ":21:"), 1u); // range-for
+    EXPECT_EQ(countContaining(run.output, ":23:"), 1u); // .begin()
+    EXPECT_EQ(countContaining(run.output, ":32:"), 0u); // allow()ed
+}
+
+TEST(LintTest, RawTimeOrRandFiresAndSuppresses)
+{
+    const LintRun run = runLint(fixture("raw_time_rand.cpp"));
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_EQ(countContaining(run.output, "[raw-time-or-rand]"), 4u);
+    EXPECT_EQ(countContaining(run.output, ":15:"), 1u); // rand
+    EXPECT_EQ(countContaining(run.output, ":21:"), 1u); // srand
+    EXPECT_EQ(countContaining(run.output, ":27:"), 1u); // time(nullptr)
+    EXPECT_EQ(countContaining(run.output, ":33:"), 1u); // random_device
+    EXPECT_EQ(countContaining(run.output, ":39:"), 0u); // allow()ed
+}
+
+TEST(LintTest, PointerOrderFiresAndSuppresses)
+{
+    const LintRun run = runLint(fixture("pointer_order.cpp"));
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_EQ(countContaining(run.output, "[pointer-order]"), 4u);
+    EXPECT_EQ(countContaining(run.output, ":19:"), 1u); // map<T*>
+    EXPECT_EQ(countContaining(run.output, ":21:"), 1u); // set<T*>
+    EXPECT_EQ(countContaining(run.output, ":26:"), 1u); // uintptr cast
+    EXPECT_EQ(countContaining(run.output, ":32:"), 1u); // less<T*>
+    EXPECT_EQ(countContaining(run.output, ":36:"), 0u); // allow()ed
+}
+
+TEST(LintTest, NakedMutexFiresOnlyOnUnannotatedMember)
+{
+    const LintRun run = runLint(fixture("naked_mutex.cpp"));
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_EQ(countContaining(run.output, "[naked-mutex]"), 1u);
+    EXPECT_EQ(countContaining(run.output, ":15:"), 1u); // naked mutex
+    EXPECT_EQ(countContaining(run.output, "mutex_"), 0u); // annotated
+    EXPECT_EQ(countContaining(run.output, "external_"), 0u); // allowed
+}
+
+TEST(LintTest, CheckFilterRestrictsToNamedCheck)
+{
+    // locale_parse.cpp contains only locale findings, so filtering on
+    // a different check must come back clean; filtering on its own
+    // check reproduces all five.
+    const LintRun other = runLint("--check raw-time-or-rand "
+                                  + fixture("locale_parse.cpp"));
+    EXPECT_EQ(other.exitCode, 0);
+    EXPECT_EQ(other.output, "");
+    const LintRun same = runLint("--check locale-parse "
+                                 + fixture("locale_parse.cpp"));
+    EXPECT_EQ(same.exitCode, 1);
+    EXPECT_EQ(countContaining(same.output, "[locale-parse]"), 5u);
+}
+
+TEST(LintTest, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(runLint("").exitCode, 2);           // no paths
+    EXPECT_EQ(runLint("--check bogus-name").exitCode, 2);
+    EXPECT_EQ(runLint("--frobnicate x").exitCode, 2);
+    EXPECT_EQ(runLint("/no/such/path/anywhere").exitCode, 2);
+}
+
+TEST(LintTest, ListChecksNamesAllFive)
+{
+    const LintRun run = runLint("--list-checks");
+    EXPECT_EQ(run.exitCode, 0);
+    EXPECT_EQ(run.output,
+              "locale-parse\n"
+              "unordered-iteration-to-output\n"
+              "raw-time-or-rand\n"
+              "pointer-order\n"
+              "naked-mutex\n");
+}
+
+TEST(LintTest, RealSourceTreeIsClean)
+{
+    // The acceptance bar for the whole repo: zero findings over every
+    // scanned root. (The scalesim_lint_tree ctest enforces the same
+    // thing from CMake; this keeps the bar inside the unit suite too.)
+    const std::string source = SCALESIM_SOURCE_DIR;
+    const LintRun run = runLint(source + "/src " + source + "/tools "
+                                + source + "/examples " + source
+                                + "/bench");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_EQ(run.output, "") << run.output;
+}
+
+TEST(LintTest, FixturesExcludedWhenRecursingButScannedWhenNamed)
+{
+    // Recursing tools/ must skip fixtures/ (default excludes)...
+    const LintRun tree =
+        runLint(std::string(SCALESIM_SOURCE_DIR) + "/tools");
+    EXPECT_EQ(tree.exitCode, 0) << tree.output;
+    // ...while naming a fixture file directly always scans it.
+    const LintRun direct = runLint(fixture("raw_time_rand.cpp"));
+    EXPECT_EQ(direct.exitCode, 1);
+}
+
+} // namespace

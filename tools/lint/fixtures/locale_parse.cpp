@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Lint fixture for [locale-parse]. Never compiled — scanned by
+ * tests/lint_test.cpp, which pins the exact findings expected here:
+ * five firing lines (atoi, strtod, std::stoi, sscanf, stream
+ * extraction into a double) and two suppressed atoi calls (directive
+ * on the line above, and trailing on the same line).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <string>
+
+int
+fixture_atoi(const char* text)
+{
+    return atoi(text); // finding: locale-parse
+}
+
+double
+fixture_strtod(const char* text)
+{
+    return strtod(text, nullptr); // finding: locale-parse
+}
+
+int
+fixture_stoi(const std::string& text)
+{
+    return std::stoi(text); // finding: locale-parse
+}
+
+void
+fixture_sscanf(const char* text, int* value)
+{
+    std::sscanf(text, "%d", value); // finding: locale-parse
+}
+
+double
+fixture_stream(std::istream& in)
+{
+    double value = 0.0;
+    in >> value; // finding: locale-parse (extraction into a double)
+    return value;
+}
+
+int
+fixture_allowed_above(const char* text)
+{
+    // scalesim-lint: allow(locale-parse)
+    return atoi(text); // suppressed: directive on the line above
+}
+
+int
+fixture_allowed_trailing(const char* text)
+{
+    return atoi(text); // scalesim-lint: allow(locale-parse)
+}

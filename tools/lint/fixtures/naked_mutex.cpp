@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Lint fixture for [naked-mutex]. Never compiled — scanned by
+ * tests/lint_test.cpp: one firing member (a std::mutex nothing is
+ * annotated against), one annotated CheckedMutex that must NOT fire,
+ * and one suppressed mutex.
+ */
+
+#include <mutex>
+
+#include "check/thread_safety.hpp"
+
+struct FixtureNaked
+{
+    std::mutex lock_; // finding: no SIM_GUARDED_BY user in this file
+};
+
+struct FixtureAnnotated
+{
+    scalesim::CheckedMutex mutex_;
+    int value_ SIM_GUARDED_BY(mutex_) = 0; // mutex_ has a user: clean
+};
+
+struct FixtureAllowed
+{
+    // scalesim-lint: allow(naked-mutex)
+    std::mutex external_; // suppressed: locked by the embedding layer
+};

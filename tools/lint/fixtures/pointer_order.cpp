@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Lint fixture for [pointer-order]. Never compiled — scanned by
+ * tests/lint_test.cpp: four firing lines (pointer-keyed map, pointer
+ * set, reinterpret_cast to uintptr_t, std::less over pointers) and
+ * one suppressed pointer-keyed map.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+struct FixtureNode
+{
+    int id = 0;
+};
+
+std::map<FixtureNode*, int> fixture_by_address; // finding
+
+std::set<const FixtureNode*> fixture_visited; // finding
+
+std::uintptr_t
+fixture_key(const FixtureNode* node)
+{
+    return reinterpret_cast<std::uintptr_t>(node); // finding
+}
+
+bool
+fixture_compare(FixtureNode* a, FixtureNode* b)
+{
+    return std::less<FixtureNode*>()(a, b); // finding
+}
+
+// scalesim-lint: allow(pointer-order)
+std::map<FixtureNode*, int> fixture_allowed; // suppressed

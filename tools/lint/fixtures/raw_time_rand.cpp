@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Lint fixture for [raw-time-or-rand]. Never compiled — scanned by
+ * tests/lint_test.cpp: four firing lines (rand, srand, time(nullptr),
+ * std::random_device) and one suppressed rand.
+ */
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int
+fixture_rand()
+{
+    return rand(); // finding: unseeded global state
+}
+
+void
+fixture_srand()
+{
+    std::srand(42); // finding: unseeded global state
+}
+
+long
+fixture_time()
+{
+    return time(nullptr); // finding: wall clock in a simulation path
+}
+
+unsigned
+fixture_entropy()
+{
+    std::random_device device; // finding: hardware entropy
+    return device();
+}
+
+int
+fixture_allowed()
+{
+    return rand(); // scalesim-lint: allow(raw-time-or-rand)
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Lint fixture for [unordered-iteration-to-output]. Never compiled —
+ * scanned by tests/lint_test.cpp. The ofstream below marks this file
+ * as output-writing, so iterating the unordered member leaks hash
+ * order into the artifact: two firing lines (range-for, .begin()) and
+ * one suppressed range-for.
+ */
+
+#include <fstream>
+#include <string>
+#include <unordered_map>
+
+struct FixtureStats
+{
+    std::unordered_map<std::string, int> counters;
+
+    void
+    dump(std::ofstream& out) const
+    {
+        for (const auto& kv : counters) // finding: hash order leaks
+            out << kv.first << " " << kv.second << "\n";
+        auto it = counters.begin(); // finding: hash order leaks
+        if (it != counters.end())
+            out << it->first << "\n";
+    }
+
+    void
+    dumpAllowed(std::ofstream& out) const
+    {
+        // scalesim-lint: allow(unordered-iteration-to-output)
+        for (const auto& kv : counters) // suppressed
+            out << kv.first << "\n";
+    }
+};

@@ -1,0 +1,727 @@
+/**
+ * @file
+ * scalesim_lint — the repo's domain-specific determinism linter.
+ *
+ * The simulator's standing invariant is bit-identical, cycle-accurate
+ * results on every host, under every locale, for every worker count.
+ * Generic tooling (clang-tidy, TSan, fuzzers) catches pieces of that
+ * probabilistically; this tool encodes the repo's own determinism
+ * rules as named, suppressible, compile-free checks that run over the
+ * source text in CI and as a ctest:
+ *
+ *   locale-parse
+ *       atoi/atof/strtod/sto{i,d,...}/sscanf and stream-extraction
+ *       into a double honor LC_NUMERIC; under de_DE "0.125" parses
+ *       as 0 (the PR 9 strtod bug). All number parsing outside
+ *       src/common/parse.* must go through scalesim::parse*.
+ *   unordered-iteration-to-output
+ *       range-for / .begin() iteration over a std::unordered_map/set
+ *       in a file that writes stats, traces, JSON, or persisted bytes
+ *       — hash iteration order is implementation-defined and leaks
+ *       into "byte-identical" outputs.
+ *   raw-time-or-rand
+ *       rand()/srand(), time(nullptr), std::random_device: wall-clock
+ *       and hardware entropy have no place in simulation results; use
+ *       scalesim::Rng (seeded xoshiro256**) and simulated cycles.
+ *   pointer-order
+ *       ordering containers keyed on pointers or casting pointers to
+ *       uintptr_t: allocation addresses differ run to run, so any
+ *       pointer-derived order is nondeterministic.
+ *   naked-mutex
+ *       a std::mutex/CheckedMutex member with no SIM_GUARDED_BY /
+ *       SIM_PT_GUARDED_BY / SIM_REQUIRES user in the same file: either
+ *       the mutex guards nothing (delete it) or the guarded state is
+ *       not annotated for clang's thread-safety analysis (annotate
+ *       it — see src/check/thread_safety.hpp).
+ *
+ * Suppression: a comment `// scalesim-lint: allow(check-name)` (or
+ * `allow(a, b)`) suppresses those checks on its own line and on the
+ * line directly below — so both trailing and line-above placement
+ * work. Comments and string literals are scrubbed before matching, so
+ * patterns inside them never fire.
+ *
+ * Exit codes: 0 clean, 1 findings reported, 2 usage error.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+constexpr const char* kCheckNames[] = {
+    "locale-parse",
+    "unordered-iteration-to-output",
+    "raw-time-or-rand",
+    "pointer-order",
+    "naked-mutex",
+};
+
+struct Finding
+{
+    std::string file;
+    std::size_t line = 0;
+    std::string check;
+    std::string message;
+
+    bool
+    operator<(const Finding& o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        return check < o.check;
+    }
+};
+
+/** One source file with comments/literals blanked out. */
+struct ScrubbedFile
+{
+    std::string path;
+    /** Scrubbed source, 0-indexed by line. */
+    std::vector<std::string> lines;
+    /** line (1-based) -> checks allowed on that line. */
+    std::map<std::size_t, std::set<std::string>> allow;
+
+    bool
+    suppressed(std::size_t line, const std::string& check) const
+    {
+        auto it = allow.find(line);
+        return it != allow.end()
+            && (it->second.count(check) || it->second.count("*"));
+    }
+
+    /** Whole scrubbed text joined back (for multi-line matching). */
+    std::string
+    joined() const
+    {
+        std::string out;
+        for (const auto& l : lines) {
+            out += l;
+            out += '\n';
+        }
+        return out;
+    }
+
+    /** 1-based line of a byte offset into joined(). */
+    std::size_t
+    lineOfOffset(std::size_t offset) const
+    {
+        std::size_t line = 1, pos = 0;
+        for (const auto& l : lines) {
+            pos += l.size() + 1;
+            if (offset < pos)
+                return line;
+            ++line;
+        }
+        return lines.empty() ? 1 : lines.size();
+    }
+};
+
+/**
+ * Record an `allow(...)` directive found in a comment: it covers the
+ * comment's own line and the line directly below it.
+ */
+void
+recordAllows(ScrubbedFile& file, const std::string& comment,
+             std::size_t line)
+{
+    static const std::regex directive(
+        R"(scalesim-lint\s*:\s*allow\s*\(([^)]*)\))");
+    std::smatch m;
+    if (!std::regex_search(comment, m, directive))
+        return;
+    std::stringstream names(m[1].str());
+    std::string name;
+    while (std::getline(names, name, ',')) {
+        const auto first = name.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            continue;
+        const auto last = name.find_last_not_of(" \t");
+        const std::string trimmed = name.substr(first, last - first + 1);
+        file.allow[line].insert(trimmed);
+        file.allow[line + 1].insert(trimmed);
+    }
+}
+
+/**
+ * Blank comments, string literals, and char literals (keeping line
+ * structure) so checks only see code. Comments are parsed for
+ * suppression directives on the way out.
+ */
+ScrubbedFile
+scrub(const std::string& path, const std::string& text)
+{
+    ScrubbedFile out;
+    out.path = path;
+
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString,
+    };
+    State state = State::Code;
+    std::string scrubbed;
+    scrubbed.reserve(text.size());
+    std::string comment;       // text of the comment in progress
+    std::size_t commentLine = 1;
+    std::string rawDelim;      // )delim" terminator of a raw string
+    std::size_t line = 1;
+
+    auto flushComment = [&] {
+        recordAllows(out, comment, commentLine);
+        comment.clear();
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (state) {
+        case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                comment.clear();
+                commentLine = line;
+                scrubbed += "  ";
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                comment.clear();
+                commentLine = line;
+                scrubbed += "  ";
+                ++i;
+            } else if (c == 'R' && next == '"'
+                       && (i == 0
+                           || (!std::isalnum(
+                                   static_cast<unsigned char>(
+                                       text[i - 1]))
+                               && text[i - 1] != '_'))) {
+                // Raw string R"delim( ... )delim"
+                const std::size_t open = text.find('(', i + 2);
+                if (open == std::string::npos) {
+                    scrubbed += c;
+                    break;
+                }
+                rawDelim = ")" + text.substr(i + 2, open - (i + 2))
+                    + "\"";
+                state = State::RawString;
+                // Blank the whole R"delim( intro (same byte count).
+                scrubbed.append(open - i + 1, ' ');
+                i = open; // consumed through the '('
+            } else if (c == '"') {
+                state = State::String;
+                scrubbed += '"';
+            } else if (c == '\'') {
+                // A quote directly between digits/hex is a C++14
+                // digit separator (1'000'000), not a char literal.
+                const bool separator = i > 0
+                    && std::isalnum(
+                        static_cast<unsigned char>(text[i - 1]))
+                    && std::isalnum(static_cast<unsigned char>(next));
+                if (separator) {
+                    scrubbed += '\'';
+                } else {
+                    state = State::Char;
+                    scrubbed += '\'';
+                }
+            } else {
+                scrubbed += c;
+            }
+            break;
+        case State::LineComment:
+            if (c == '\n') {
+                flushComment();
+                state = State::Code;
+                scrubbed += '\n';
+            } else {
+                comment += c;
+                scrubbed += ' ';
+            }
+            break;
+        case State::BlockComment:
+            if (c == '*' && next == '/') {
+                flushComment();
+                state = State::Code;
+                scrubbed += "  ";
+                ++i;
+            } else if (c == '\n') {
+                // Multi-line comment: directives bind to the line
+                // they are written on, so flush per line.
+                flushComment();
+                commentLine = line + 1;
+                scrubbed += '\n';
+            } else {
+                comment += c;
+                scrubbed += ' ';
+            }
+            break;
+        case State::String:
+            if (c == '\\' && next != '\0') {
+                scrubbed += "  ";
+                ++i;
+            } else if (c == '"') {
+                state = State::Code;
+                scrubbed += '"';
+            } else if (c == '\n') {
+                scrubbed += '\n'; // unterminated; keep lines aligned
+                state = State::Code;
+            } else {
+                scrubbed += ' ';
+            }
+            break;
+        case State::Char:
+            if (c == '\\' && next != '\0') {
+                scrubbed += "  ";
+                ++i;
+            } else if (c == '\'') {
+                state = State::Code;
+                scrubbed += '\'';
+            } else if (c == '\n') {
+                scrubbed += '\n';
+                state = State::Code;
+            } else {
+                scrubbed += ' ';
+            }
+            break;
+        case State::RawString:
+            if (text.compare(i, rawDelim.size(), rawDelim) == 0) {
+                state = State::Code;
+                scrubbed.append(rawDelim.size(), ' ');
+                i += rawDelim.size() - 1;
+            } else if (c == '\n') {
+                scrubbed += '\n';
+            } else {
+                scrubbed += ' ';
+            }
+            break;
+        }
+        if (c == '\n')
+            ++line;
+    }
+    if (state == State::LineComment || state == State::BlockComment)
+        flushComment();
+
+    std::stringstream ss(scrubbed);
+    std::string one;
+    while (std::getline(ss, one))
+        out.lines.push_back(one);
+    return out;
+}
+
+void
+forEachMatch(const ScrubbedFile& file, const std::regex& re,
+             const std::function<void(std::size_t line,
+                                      const std::smatch&)>& fn)
+{
+    for (std::size_t i = 0; i < file.lines.size(); ++i) {
+        auto begin = std::sregex_iterator(file.lines[i].begin(),
+                                          file.lines[i].end(), re);
+        for (auto it = begin; it != std::sregex_iterator(); ++it)
+            fn(i + 1, *it);
+    }
+}
+
+void
+addFinding(std::vector<Finding>& findings, const ScrubbedFile& file,
+           std::size_t line, const std::string& check,
+           const std::string& message)
+{
+    if (file.suppressed(line, check))
+        return;
+    findings.push_back({file.path, line, check, message});
+}
+
+// --------------------------------------------------------------------
+// Check: locale-parse
+// --------------------------------------------------------------------
+
+void
+checkLocaleParse(const ScrubbedFile& file,
+                 std::vector<Finding>& findings)
+{
+    const std::string check = "locale-parse";
+    // common/parse.* is the blessed locale-free implementation.
+    if (file.path.find("common/parse.") != std::string::npos)
+        return;
+
+    static const std::regex call(
+        R"((?:^|[^\w.:>])((?:std\s*::\s*)?)"
+        R"((atoi|atol|atoll|atof|strtod|strtof|strtold|sscanf|vsscanf)"
+        R"(|stoi|stol|stoll|stoul|stoull|stof|stod|stold))\s*\()");
+    forEachMatch(file, call, [&](std::size_t line,
+                                 const std::smatch& m) {
+        addFinding(findings, file, line, check,
+                   m[2].str()
+                       + "() honors LC_NUMERIC; use scalesim::parse* "
+                         "(common/parse.hpp) for locale-independent "
+                         "parsing");
+    });
+
+    // Stream extraction into a floating variable also honors the
+    // locale. Heuristic: names declared double/float in this file,
+    // appearing as the target of operator>>.
+    static const std::regex floatDecl(
+        R"(\b(?:double|float)\s+([A-Za-z_]\w*)\s*(?:[=;,)\]]|$))");
+    std::set<std::string> floatVars;
+    forEachMatch(file, floatDecl,
+                 [&](std::size_t, const std::smatch& m) {
+                     floatVars.insert(m[1].str());
+                 });
+    if (floatVars.empty())
+        return;
+    static const std::regex extract(R"(>>\s*([A-Za-z_]\w*))");
+    forEachMatch(file, extract, [&](std::size_t line,
+                                    const std::smatch& m) {
+        if (!floatVars.count(m[1].str()))
+            return;
+        addFinding(findings, file, line, check,
+                   "stream extraction into floating-point variable '"
+                       + m[1].str()
+                       + "' honors LC_NUMERIC; use "
+                         "scalesim::parseDouble instead");
+    });
+}
+
+// --------------------------------------------------------------------
+// Check: unordered-iteration-to-output
+// --------------------------------------------------------------------
+
+/**
+ * Names of variables/members declared as std::unordered_{map,set} in
+ * this file, found by matching the template argument brackets.
+ */
+std::set<std::string>
+unorderedNames(const std::string& text)
+{
+    std::set<std::string> names;
+    static const std::regex decl(R"(\bunordered_(?:map|set)\s*<)");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), decl);
+         it != std::sregex_iterator(); ++it) {
+        std::size_t pos = static_cast<std::size_t>(it->position())
+            + it->length();
+        int depth = 1;
+        while (pos < text.size() && depth > 0) {
+            if (text[pos] == '<')
+                ++depth;
+            else if (text[pos] == '>')
+                --depth;
+            ++pos;
+        }
+        // Skip whitespace, then expect the declared name.
+        while (pos < text.size()
+               && std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        std::size_t start = pos;
+        while (pos < text.size()
+               && (std::isalnum(static_cast<unsigned char>(text[pos]))
+                   || text[pos] == '_'))
+            ++pos;
+        if (pos > start)
+            names.insert(text.substr(start, pos - start));
+    }
+    return names;
+}
+
+void
+checkUnorderedIteration(const ScrubbedFile& file,
+                        std::vector<Finding>& findings)
+{
+    const std::string check = "unordered-iteration-to-output";
+    const std::string text = file.joined();
+
+    // Only files that produce ordered artifacts (stats, traces, JSON,
+    // persisted bytes) can leak hash order into outputs.
+    static const std::regex outputMarker(
+        R"(\b(?:ofstream|fopen|fprintf|fputs|fwrite|JsonWriter)"
+        R"(|StatsRegistry|registerStats|writeStats|writeJson)"
+        R"(|writeChromeTrace|save|dump)\w*\b)");
+    if (!std::regex_search(text, outputMarker))
+        return;
+
+    const std::set<std::string> names = unorderedNames(text);
+    if (names.empty())
+        return;
+
+    for (const std::string& name : names) {
+        const std::regex iter(
+            R"(\bfor\s*\([^;()]*:\s*(?:this->)?()" + name
+            + R"()\s*\)|\b()" + name
+            + R"()\s*\.\s*c?r?begin\s*\(\s*\))");
+        forEachMatch(file, iter, [&](std::size_t line,
+                                     const std::smatch&) {
+            addFinding(findings, file, line, check,
+                       "iteration over unordered container '" + name
+                           + "' in an output-writing file: hash order "
+                             "is nondeterministic; iterate a sorted "
+                             "or insertion-order structure instead");
+        });
+    }
+}
+
+// --------------------------------------------------------------------
+// Check: raw-time-or-rand
+// --------------------------------------------------------------------
+
+void
+checkRawTimeOrRand(const ScrubbedFile& file,
+                   std::vector<Finding>& findings)
+{
+    const std::string check = "raw-time-or-rand";
+    static const std::regex randCall(
+        R"((?:^|[^\w.:>])(?:std\s*::\s*)?(s?rand)\s*\()");
+    forEachMatch(file, randCall, [&](std::size_t line,
+                                     const std::smatch& m) {
+        addFinding(findings, file, line, check,
+                   m[1].str()
+                       + "() is unseeded global state; use "
+                         "scalesim::Rng (common/rng.hpp) for "
+                         "reproducible streams");
+    });
+    static const std::regex timeCall(
+        R"((?:^|[^\w.:>])(?:std\s*::\s*)?time\s*\()"
+        R"(\s*(?:nullptr|NULL|0)\s*\))");
+    forEachMatch(file, timeCall, [&](std::size_t line,
+                                     const std::smatch&) {
+        addFinding(findings, file, line, check,
+                   "wall-clock time(...) in a simulation path breaks "
+                   "reproducibility; derive timestamps from simulated "
+                   "cycles or take them as input");
+    });
+    static const std::regex randomDevice(R"(\brandom_device\b)");
+    forEachMatch(file, randomDevice, [&](std::size_t line,
+                                         const std::smatch&) {
+        addFinding(findings, file, line, check,
+                   "std::random_device is hardware entropy; seed "
+                   "scalesim::Rng with a fixed or configured seed "
+                   "instead");
+    });
+}
+
+// --------------------------------------------------------------------
+// Check: pointer-order
+// --------------------------------------------------------------------
+
+void
+checkPointerOrder(const ScrubbedFile& file,
+                  std::vector<Finding>& findings)
+{
+    const std::string check = "pointer-order";
+    static const std::regex ptrKey(
+        R"(\b(?:unordered_)?(?:multi)?(?:map|set)\s*<\s*)"
+        R"((?:const\s+)?[A-Za-z_][\w:]*\s*\*)");
+    forEachMatch(file, ptrKey, [&](std::size_t line,
+                                   const std::smatch&) {
+        addFinding(findings, file, line, check,
+                   "container keyed on a pointer: allocation addresses "
+                   "differ run to run, so iteration/ordering is "
+                   "nondeterministic; key on a stable id instead");
+    });
+    static const std::regex ptrCast(
+        R"(reinterpret_cast\s*<\s*(?:std\s*::\s*)?u?intptr_t\s*>)");
+    forEachMatch(file, ptrCast, [&](std::size_t line,
+                                    const std::smatch&) {
+        addFinding(findings, file, line, check,
+                   "pointer-to-integer cast: address-derived values "
+                   "(hashes, sort keys) are nondeterministic across "
+                   "runs");
+    });
+    static const std::regex ptrLess(R"(\bless\s*<[^<>]*\*\s*>)");
+    forEachMatch(file, ptrLess, [&](std::size_t line,
+                                    const std::smatch&) {
+        addFinding(findings, file, line, check,
+                   "std::less over pointers orders by address; use a "
+                   "stable key");
+    });
+}
+
+// --------------------------------------------------------------------
+// Check: naked-mutex
+// --------------------------------------------------------------------
+
+void
+checkNakedMutex(const ScrubbedFile& file,
+                std::vector<Finding>& findings)
+{
+    const std::string check = "naked-mutex";
+    const std::string text = file.joined();
+    static const std::regex decl(
+        R"(\b(?:mutable\s+)?(?:std\s*::\s*mutex|(?:scalesim\s*::\s*)?)"
+        R"(CheckedMutex)\s+([A-Za-z_]\w*)\s*;)");
+    forEachMatch(file, decl, [&](std::size_t line,
+                                 const std::smatch& m) {
+        const std::string name = m[1].str();
+        const std::regex user(
+            R"(SIM_(?:PT_)?(?:GUARDED_BY|REQUIRES)\s*\(\s*)"
+            R"((?:this->)?)"
+            + name + R"(\b)");
+        if (std::regex_search(text, user))
+            return;
+        addFinding(findings, file, line, check,
+                   "mutex '" + name
+                       + "' has no SIM_GUARDED_BY/SIM_REQUIRES user "
+                         "in this file: annotate the state it guards "
+                         "(check/thread_safety.hpp) or delete it");
+    });
+}
+
+// --------------------------------------------------------------------
+// Driver
+// --------------------------------------------------------------------
+
+bool
+lintableFile(const fs::path& path)
+{
+    static const std::set<std::string> exts = {".hpp", ".cpp", ".h",
+                                               ".cc",  ".hh",  ".cxx"};
+    return exts.count(path.extension().string()) != 0;
+}
+
+void
+printUsage(std::ostream& out)
+{
+    out << "usage: scalesim_lint [--list-checks] [--check NAME]... "
+           "[--exclude SUBSTR]... <path>...\n"
+           "  paths are files or directories (recursed for "
+           ".hpp/.cpp/.h/.cc/.hh/.cxx)\n"
+           "  'fixtures', 'corpus', and 'build' path components are "
+           "excluded by default when recursing\n"
+           "  suppress one line with: // scalesim-lint: "
+           "allow(check-name)\n"
+           "exit codes: 0 clean, 1 findings, 2 usage error\n";
+}
+
+int
+usageError(const std::string& message)
+{
+    std::cerr << "scalesim_lint: " << message << "\n";
+    printUsage(std::cerr);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::set<std::string> enabled;
+    std::vector<std::string> excludes = {"fixtures", "corpus", "build"};
+    std::vector<std::string> roots;
+    const std::set<std::string> known(std::begin(kCheckNames),
+                                      std::end(kCheckNames));
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--list-checks") {
+            for (const char* name : kCheckNames)
+                std::cout << name << "\n";
+            return 0;
+        } else if (arg == "--check") {
+            const char* name = value();
+            if (name == nullptr || !known.count(name))
+                return usageError("--check expects one of the names "
+                                  "from --list-checks");
+            enabled.insert(name);
+        } else if (arg == "--exclude") {
+            const char* sub = value();
+            if (sub == nullptr)
+                return usageError("--exclude expects a substring");
+            excludes.push_back(sub);
+        } else if (arg == "-h" || arg == "--help") {
+            printUsage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usageError("unknown option " + arg);
+        } else {
+            roots.push_back(arg);
+        }
+    }
+    if (roots.empty())
+        return usageError("no paths given");
+    if (enabled.empty())
+        enabled = known;
+
+    // Excludes apply while recursing directories only: a file named
+    // explicitly on the command line is always scanned (that is how
+    // the self-tests point the tool at its own fixtures).
+    const auto excluded = [&](const std::string& path) {
+        return std::any_of(excludes.begin(), excludes.end(),
+                           [&](const std::string& sub) {
+                               return path.find(sub)
+                                   != std::string::npos;
+                           });
+    };
+    std::vector<std::string> files;
+    for (const std::string& root : roots) {
+        std::error_code ec;
+        const fs::file_status st = fs::status(root, ec);
+        if (ec || !fs::exists(st))
+            return usageError("no such path: " + root);
+        if (fs::is_directory(st)) {
+            for (fs::recursive_directory_iterator it(root, ec), end;
+                 !ec && it != end; it.increment(ec)) {
+                if (it->is_regular_file() && lintableFile(it->path())
+                    && !excluded(it->path().generic_string()))
+                    files.push_back(it->path().generic_string());
+            }
+        } else {
+            files.push_back(fs::path(root).generic_string());
+        }
+    }
+    // Directory iteration order is unspecified; sort so output (and
+    // this tool's own exit status narration) is deterministic.
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<Finding> findings;
+    std::size_t scanned = 0;
+    for (const std::string& path : files) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::cerr << "scalesim_lint: cannot read " << path << "\n";
+            return 2;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        const ScrubbedFile scrubbed = scrub(path, buffer.str());
+        ++scanned;
+        if (enabled.count("locale-parse"))
+            checkLocaleParse(scrubbed, findings);
+        if (enabled.count("unordered-iteration-to-output"))
+            checkUnorderedIteration(scrubbed, findings);
+        if (enabled.count("raw-time-or-rand"))
+            checkRawTimeOrRand(scrubbed, findings);
+        if (enabled.count("pointer-order"))
+            checkPointerOrder(scrubbed, findings);
+        if (enabled.count("naked-mutex"))
+            checkNakedMutex(scrubbed, findings);
+    }
+
+    std::sort(findings.begin(), findings.end());
+    for (const Finding& f : findings) {
+        std::cout << f.file << ":" << f.line << ": [" << f.check
+                  << "] " << f.message << "\n";
+    }
+    std::cerr << "scalesim_lint: " << findings.size()
+              << " finding(s) in " << scanned << " file(s) scanned\n";
+    return findings.empty() ? 0 : 1;
+}
